@@ -1,0 +1,61 @@
+// Ablation (section 4.3) — blocking vs non-blocking actuation. Prior
+// adaptive operators quiesce the input during state relocation; Algorithm 3
+// keeps processing. We measure the stall time a blocking protocol would
+// impose (migration traffic drained at the joiners' migration rate while
+// input waits) against the non-blocking operator where input flows
+// continuously and migrations overlap processing.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/sim/sim_engine.h"
+
+using namespace ajoin;
+using namespace ajoin::bench;
+
+int main() {
+  PrintHeader("Ablation: blocking vs non-blocking migration actuation");
+  const uint32_t machines = 64;
+  const CostModel cost = DefaultCost();
+  const uint64_t per_side = 300000;
+  Workload w = Workload::Synthetic(per_side, per_side, 32, 32, 100000, 0.0, 3);
+  ArrivalPolicy policy;
+  policy.kind = ArrivalPolicy::Kind::kFluctuating;
+  policy.fluct_k = 6.0;
+
+  SimEngine engine;
+  OperatorConfig cfg = BaseConfig(w, machines, OpKind::kDynamic);
+  cfg.min_total_before_adapt = w.total_count() / 100;
+  JoinOperator op(engine, cfg);
+  engine.Start();
+  RunOptions opts;
+  opts.cost = cost;
+  opts.arrival = policy;
+  opts.snapshots = 100;
+  RunResult r = RunWorkload(engine, op, w, opts);
+
+  // Per-migration stall a blocking protocol would add: the migrated volume
+  // of that migration divided by the per-joiner migration drain rate.
+  uint64_t mig_tuples = 0;
+  for (size_t i = 0; i < op.num_joiner_slots(); ++i) {
+    mig_tuples += op.joiner(i).metrics().mig_in_tuples;
+  }
+  double drain_rate_per_joiner = 1.0 / cost.sec_per_mig_tuple / cost.time_scale;
+  double stall_seconds = static_cast<double>(mig_tuples) / machines /
+                         drain_rate_per_joiner;
+  std::printf("migrations:                      %llu\n",
+              static_cast<unsigned long long>(r.migrations));
+  std::printf("total migrated tuples:           %llu\n",
+              static_cast<unsigned long long>(mig_tuples));
+  std::printf("non-blocking execution time:     %.1f s\n", r.exec_seconds);
+  std::printf("blocking stall time (modeled):   %.1f s (input quiesced)\n",
+              stall_seconds);
+  std::printf("blocking total (modeled):        %.1f s (+%.1f%%)\n",
+              r.exec_seconds + stall_seconds,
+              100.0 * stall_seconds / r.exec_seconds);
+  std::printf(
+      "\nThe non-blocking protocol (Alg. 3) overlaps relocation with new\n"
+      "input at a 2:1 drain ratio (Theorem 4.6) and adds zero stalls; a\n"
+      "blocking protocol adds the full relocation time as input stalls.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation (Theorem 4.2) — the optimality/communication tradeoff knob ε:
+// thresholds |ΔR| >= ε|R| or |ΔS| >= ε|S| give competitive ratio
+// (3+2ε)/(3+ε) and amortized communication O(1/ε). Sweeping ε shows the
+// measured worst-case ILF ratio fall and migration traffic rise.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/sim/sim_engine.h"
+
+using namespace ajoin;
+using namespace ajoin::bench;
+
+int main() {
+  PrintHeader(
+      "Ablation: epsilon tradeoff (Theorem 4.2) — Fluct-Join shape, J=64");
+  const CostModel cost = DefaultCost();
+  const uint32_t machines = 64;
+  const uint64_t per_side = 200000;
+  Workload w = Workload::Synthetic(per_side, per_side, 32, 32, 100000, 0.0, 5);
+  ArrivalPolicy policy;
+  policy.kind = ArrivalPolicy::Kind::kFluctuating;
+  policy.fluct_k = 4.0;
+
+  std::printf("%-8s %10s %12s %14s %16s %12s\n", "eps", "bound",
+              "max ILF/ILF*", "migrations", "mig tuples", "mig/input");
+  for (double eps : {1.0, 0.5, 0.25, 0.125}) {
+    SimEngine engine;
+    OperatorConfig cfg = BaseConfig(w, machines, OpKind::kDynamic);
+    cfg.epsilon = eps;
+    cfg.min_total_before_adapt = w.total_count() / 100;
+    JoinOperator op(engine, cfg);
+    engine.Start();
+    RunOptions opts;
+    opts.cost = cost;
+    opts.arrival = policy;
+    opts.snapshots = 200;
+    RunResult r = RunWorkload(engine, op, w, opts);
+    uint64_t mig_tuples = 0;
+    for (size_t i = 0; i < op.num_joiner_slots(); ++i) {
+      mig_tuples += op.joiner(i).metrics().mig_in_tuples;
+    }
+    double max_ratio = 0;
+    for (const ProgressPoint& p : r.series) {
+      if (p.fraction < 0.02) continue;
+      max_ratio = std::max(max_ratio, p.ilf_ratio);
+    }
+    double bound = (3 + 2 * eps) / (3 + eps);
+    std::printf("%-8.3f %10.3f %12.3f %14llu %16llu %12.3f\n", eps, bound,
+                max_ratio, static_cast<unsigned long long>(r.migrations),
+                static_cast<unsigned long long>(mig_tuples),
+                static_cast<double>(mig_tuples) /
+                    static_cast<double>(r.input_tuples));
+  }
+  std::printf(
+      "\nExpected shape: smaller eps => tighter measured ILF ratio, always\n"
+      "within the (3+2eps)/(3+eps) bound, and earlier reaction to each\n"
+      "cardinality swing. Migration traffic is bounded by O(1/eps) amortized\n"
+      "(Theorem 4.2); in this workload the flip count is set by the\n"
+      "fluctuation pattern, so the traffic stays near-flat while the ratio\n"
+      "tightens — adaptation latency is the epsilon lever.\n");
+  return 0;
+}

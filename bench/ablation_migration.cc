@@ -1,0 +1,67 @@
+// Ablation (Lemma 4.4) — locality-aware migration vs naive repartitioning.
+// The locality-aware plan moves only the merged relation (cost 2|R|/n per
+// machine, pairwise exchange); a naive scheme reshuffles *all* state through
+// the network. We measure the plan's actual traffic on the operator and
+// compare with the naive volume.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/sim/sim_engine.h"
+
+using namespace ajoin;
+using namespace ajoin::bench;
+
+int main() {
+  PrintHeader("Ablation: locality-aware migration traffic vs naive (Lemma 4.4)");
+  const uint32_t machines = 64;
+  const CostModel cost = DefaultCost();
+
+  std::printf("%-22s %16s %16s %12s\n", "migration", "locality(MB)",
+              "naive(MB)", "saving");
+  // Drive a lopsided stream so the operator performs the (8,8) -> ... ->
+  // (1,64) cascade, and account the actual migrated bytes.
+  for (double ratio : {4.0, 16.0, 64.0}) {
+    uint64_t s_count = 400000;
+    uint64_t r_count = static_cast<uint64_t>(s_count / ratio);
+    Workload w = Workload::Synthetic(r_count, s_count, 32, 32, 100000, 0.0, 9);
+    SimEngine engine;
+    OperatorConfig cfg = BaseConfig(w, machines, OpKind::kDynamic);
+    JoinOperator op(engine, cfg);
+    engine.Start();
+    RunOptions opts;
+    opts.cost = cost;
+    opts.snapshots = 50;
+    RunResult r = RunWorkload(engine, op, w, opts);
+    uint64_t mig_bytes = 0, stored_bytes = 0;
+    for (size_t i = 0; i < op.num_joiner_slots(); ++i) {
+      mig_bytes += op.joiner(i).metrics().mig_in_bytes;
+      stored_bytes += op.joiner(i).metrics().stored_bytes;
+    }
+    // Naive repartitioning moves the full replicated cluster state at each
+    // migration; estimate each migration's state as the final state scaled
+    // by the stream fraction processed at that point.
+    double naive = 0;
+    double total_scaled = static_cast<double>(w.total_count());
+    for (const MigrationRecord& rec : r.migration_log) {
+      double frac = std::min(
+          1.0, static_cast<double>(rec.at_scaled_tuples) / total_scaled);
+      naive += frac * static_cast<double>(stored_bytes);
+    }
+    if (r.migrations == 0) naive = 0;
+    char label[48];
+    std::snprintf(label, sizeof(label), "R:S=1:%-4.0f (%llu migs)", ratio,
+                  static_cast<unsigned long long>(r.migrations));
+    std::printf("%-22s %16.2f %16.2f %11.1fx\n", label,
+                static_cast<double>(mig_bytes) / (1 << 20),
+                naive / (1 << 20),
+                naive / std::max<double>(1.0, static_cast<double>(mig_bytes)));
+  }
+  std::printf(
+      "\nExpected shape: locality-aware migration moves only the merged\n"
+      "relation between exchange partners — the bulky relation never\n"
+      "crosses the network (its refits are local discards) — so traffic is\n"
+      "a 2-4x saving over naive full repartitioning for these shapes, and\n"
+      "the saving grows with how lopsided the state is at migration time.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Shared helpers for the paper-reproduction benches: default cost-model
+// calibration, operator runners, and table formatting.
+//
+// Scale substitution (see DESIGN.md section 2): dataset sizes are the
+// paper's "GB" with kRowsPerGb lineitem rows per GB (TPC-H has ~6M/GB; we
+// default to 100k/GB, a 60x row subsample). The cost model's time_scale is
+// calibrated so that Table 2's Dynamic/EQ5/Z0 run lands in the paper's
+// magnitude; all comparisons are shape-level, not absolute.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/core/driver.h"
+#include "src/core/operator.h"
+#include "src/datagen/workloads.h"
+#include "src/sim/sim_engine.h"
+
+namespace ajoin {
+namespace bench {
+
+constexpr uint64_t kRowsPerGb = 100000;  // 60x subsample of TPC-H
+
+/// Calibrated so simulated seconds land near the paper's testbed magnitude:
+/// the 60x row subsample plus the JVM/1GbE testbed factor.
+constexpr double kTimeScale = 140.0;
+
+inline CostModel DefaultCost(double mem_budget_mb = 0.0) {
+  CostModel cost;
+  cost.mem_budget_bytes =
+      static_cast<uint64_t>(mem_budget_mb * 1024.0 * 1024.0);
+  cost.time_scale = kTimeScale;
+  return cost;
+}
+
+inline TpchConfig MakeTpch(double gb, int zipf_setting,
+                           uint64_t rows_per_gb = kRowsPerGb) {
+  TpchConfig cfg;
+  cfg.gb = gb;
+  cfg.lineitem_rows_per_gb = rows_per_gb;
+  cfg.zipf_z = ZipfZForSetting(zipf_setting);
+  cfg.seed = 4242;
+  return cfg;
+}
+
+enum class OpKind { kDynamic, kStaticMid, kStaticOpt, kShj };
+
+inline const char* OpName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kDynamic: return "Dynamic";
+    case OpKind::kStaticMid: return "StaticMid";
+    case OpKind::kStaticOpt: return "StaticOpt";
+    case OpKind::kShj: return "SHJ";
+  }
+  return "?";
+}
+
+inline OperatorConfig BaseConfig(const Workload& w, uint32_t machines,
+                                 OpKind kind) {
+  OperatorConfig cfg;
+  cfg.spec = w.spec();
+  cfg.machines = machines;
+  cfg.keep_rows = false;
+  cfg.min_total_before_adapt = 512;
+  switch (kind) {
+    case OpKind::kDynamic:
+      cfg.adaptive = true;
+      cfg.initial = MidMapping(machines);
+      cfg.use_initial = true;
+      break;
+    case OpKind::kStaticMid:
+      cfg.adaptive = false;
+      cfg.initial = MidMapping(machines);
+      cfg.use_initial = true;
+      break;
+    case OpKind::kStaticOpt: {
+      cfg.adaptive = false;
+      double r_units = static_cast<double>(w.r_count()) * w.r_tuple_bytes();
+      double s_units = static_cast<double>(w.s_count()) * w.s_tuple_bytes();
+      cfg.initial = OptimalMapping(machines, r_units, s_units);
+      cfg.use_initial = true;
+      break;
+    }
+    case OpKind::kShj:
+      cfg.adaptive = false;
+      break;
+  }
+  return cfg;
+}
+
+/// Runs one operator kind over the workload on a fresh SimEngine.
+inline RunResult RunOne(const Workload& w, uint32_t machines, OpKind kind,
+                        const CostModel& cost,
+                        ArrivalPolicy arrival = ArrivalPolicy{},
+                        uint32_t snapshots = 100,
+                        uint64_t min_adapt = 512) {
+  SimEngine engine;
+  OperatorConfig cfg = BaseConfig(w, machines, kind);
+  cfg.min_total_before_adapt = min_adapt;
+  RunOptions opts;
+  opts.cost = cost;
+  opts.arrival = arrival;
+  opts.snapshots = snapshots;
+  if (kind == OpKind::kShj) {
+    ShjOperator op(engine, cfg);
+    engine.Start();
+    return RunWorkload(engine, op, w, opts);
+  }
+  JoinOperator op(engine, cfg);
+  engine.Start();
+  return RunWorkload(engine, op, w, opts);
+}
+
+inline std::string Secs(double s, bool spilled) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.0f%s", s, spilled ? "*" : "");
+  return buf;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace ajoin

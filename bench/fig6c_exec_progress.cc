@@ -1,0 +1,41 @@
+// Fig. 6c — EQ5 execution time vs percentage of input processed, J = 64
+// (SHJ on its own axis in the paper: two orders of magnitude slower due to
+// disk overflow). Execution time grows linearly; the slope ordering is
+// SHJ >> StaticMid > Dynamic ~= StaticOpt.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace ajoin;
+using namespace ajoin::bench;
+
+int main() {
+  PrintHeader("Fig 6c: EQ5 execution time (s) vs % input processed, J=64");
+  // Memory budget chosen so SHJ's skew-hot machine overflows at J=64 while
+  // the grid operators fit (paper: SHJ could not operate in memory).
+  const CostModel cost = DefaultCost(/*mem_budget_mb=*/4.0);
+  const uint32_t machines = 64;
+  Workload w(QueryId::kEQ5, MakeTpch(10.0, 4));
+
+  RunResult shj = RunOne(w, machines, OpKind::kShj, cost);
+  RunResult mid = RunOne(w, machines, OpKind::kStaticMid, cost);
+  RunResult dyn = RunOne(w, machines, OpKind::kDynamic, cost);
+  RunResult opt = RunOne(w, machines, OpKind::kStaticOpt, cost);
+
+  std::printf("%-6s %12s %12s %10s %10s\n", "pct", "SHJ(right)", "StaticMid",
+              "Dynamic", "StaticOpt");
+  for (size_t i = 9; i < shj.series.size(); i += 10) {
+    std::printf("%5.0f%% %12.0f %12.1f %10.1f %10.1f\n",
+                shj.series[i].fraction * 100, shj.series[i].exec_seconds,
+                mid.series[i].exec_seconds, dyn.series[i].exec_seconds,
+                opt.series[i].exec_seconds);
+  }
+  std::printf("\nfinal: SHJ %.0f%s  StaticMid %.0f%s  Dynamic %.0f%s  "
+              "StaticOpt %.0f%s\n",
+              shj.exec_seconds, shj.spilled ? "*" : "", mid.exec_seconds,
+              mid.spilled ? "*" : "", dyn.exec_seconds,
+              dyn.spilled ? "*" : "", opt.exec_seconds,
+              opt.spilled ? "*" : "");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 7c/7d — final ILF and throughput as the *optimal* mapping sweeps
+// from (1,64) to (8,8), J = 64. The smaller stream grows until the optimum
+// coincides with StaticMid's square, where the three operators converge
+// (Dynamic slightly behind StaticOpt: adaptivity has a small cost).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace ajoin;
+using namespace ajoin::bench;
+
+int main() {
+  PrintHeader(
+      "Fig 7c/7d: final ILF (MB), cluster storage (MB), throughput "
+      "(tuples/s) vs optimal mapping, J=64");
+  const CostModel cost = DefaultCost();
+  const uint32_t machines = 64;
+  const uint64_t s_count = 400000;
+
+  std::printf("%-8s %-10s %10s %14s %12s\n", "optimal", "operator",
+              "ILF(MB)", "storage(MB)", "tuples/s");
+  // R:S ratios that make each grid point optimal: R/n + S/m minimized at
+  // n = sqrt(J * R/S) => R = S * n^2 / J.
+  for (uint32_t n : {1u, 2u, 4u, 8u}) {
+    uint64_t r_count = s_count * n * n / machines;
+    Workload w = Workload::Synthetic(r_count, s_count, 32, 32,
+                                     /*key_domain=*/100000, /*zipf=*/0.0,
+                                     /*seed=*/7);
+    Mapping opt_map = OptimalMapping(
+        machines, static_cast<double>(r_count) * 32,
+        static_cast<double>(s_count) * 32);
+    for (OpKind kind :
+         {OpKind::kStaticMid, OpKind::kDynamic, OpKind::kStaticOpt}) {
+      RunResult r = RunOne(w, machines, kind, cost);
+      std::printf("%-8s %-10s %10.2f %14.1f %12.0f\n",
+                  opt_map.ToString().c_str(), OpName(kind),
+                  static_cast<double>(r.max_in_bytes) / (1 << 20),
+                  static_cast<double>(r.total_stored_bytes) / (1 << 20),
+                  r.throughput);
+    }
+  }
+  std::printf(
+      "\nExpected shape: the StaticMid-vs-Dynamic ILF and throughput gaps\n"
+      "shrink as the optimum approaches (8,8); at (8,8) all three converge\n"
+      "with Dynamic marginally behind (cost of adaptivity checks).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Order-book matching (the paper's introduction scenario): a full-history
+// band join between buy and sell orders on price. A buy matches a sell when
+// the prices are within a tick band and the buy limit covers the ask — a
+// theta predicate no key-partitioned operator supports. Runs on the
+// multithreaded engine with materialized rows.
+
+#include <cstdio>
+
+#include "src/common/random.h"
+#include "src/common/stopwatch.h"
+#include "src/core/operator.h"
+#include "src/runtime/thread_engine.h"
+
+using namespace ajoin;
+
+namespace {
+constexpr int kPriceCol = 0;   // price in ticks
+constexpr int kQtyCol = 1;
+constexpr int kIdCol = 2;
+}  // namespace
+
+int main() {
+  // Match candidates: |buy.price - sell.price| <= 2 ticks, and the residual
+  // requires the buy to cover the ask and a compatible quantity.
+  JoinSpec spec = MakeBandJoin(kPriceCol, kPriceCol, /*band_lo=*/-2,
+                               /*band_hi=*/2, "orderbook-match");
+  spec.residual = [](const Row& buy, const Row& sell) {
+    return buy.Int64(kPriceCol) >= sell.Int64(kPriceCol) &&
+           buy.Int64(kQtyCol) >= sell.Int64(kQtyCol) / 2;
+  };
+
+  ThreadEngine engine(1 << 14);
+  OperatorConfig config;
+  config.spec = spec;
+  config.machines = 8;
+  config.adaptive = true;
+  config.min_total_before_adapt = 256;
+  config.keep_rows = true;
+  JoinOperator op(engine, config);
+  engine.Start();
+
+  // Simulated trading session: sells outnumber buys 4:1 and prices random-
+  // walk, so both the cardinality ratio and the hot price band drift.
+  Rng rng(42);
+  int64_t mid_price = 10000;
+  Stopwatch clock;
+  const int kOrders = 60000;
+  for (int i = 0; i < kOrders; ++i) {
+    mid_price += rng.UniformInt(-2, 2);
+    bool is_buy = rng.NextBool(0.2);
+    Row order;
+    order.Append(Value(mid_price + rng.UniformInt(-5, 5)));   // price
+    order.Append(Value(rng.UniformInt(1, 100)));              // quantity
+    order.Append(Value(static_cast<int64_t>(i)));             // order id
+    StreamTuple t;
+    t.rel = is_buy ? Rel::kR : Rel::kS;
+    t.key = order.Int64(kPriceCol);
+    t.bytes = 40;
+    t.has_row = true;
+    t.row = std::move(order);
+    op.Push(t);
+  }
+  op.SendEos();
+  engine.WaitQuiescent();
+  double secs = clock.ElapsedSeconds();
+
+  std::printf("orders processed:    %d (%.0f orders/s, %u joiners)\n",
+              kOrders, kOrders / secs, config.machines);
+  std::printf("match candidates:    %llu\n",
+              static_cast<unsigned long long>(op.TotalOutputs()));
+  std::printf("final mapping:       %s after %zu migrations\n",
+              op.controller()->current_mapping(0).ToString().c_str(),
+              op.controller()->log().size());
+  uint64_t max_in = op.MaxInBytes(), min_in = ~0ull;
+  for (size_t i = 0; i < op.num_joiner_slots(); ++i) {
+    min_in = std::min(min_in, op.joiner(i).metrics().in_bytes);
+  }
+  std::printf("per-joiner input:    min %.0f KB, max %.0f KB (balanced "
+              "despite the hot price band)\n",
+              min_in / 1024.0, max_in / 1024.0);
+  engine.Shutdown();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Skew resilience on a TPC-H-like workload: the adaptive grid operator vs
+// the content-sensitive parallel symmetric hash join under Zipf-skewed
+// foreign keys (the paper's Table 2 phenomenon, as an API walkthrough).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/operator.h"
+#include "src/datagen/workloads.h"
+#include "src/sim/sim_engine.h"
+
+using namespace ajoin;
+
+namespace {
+
+struct Balance {
+  uint64_t min_bytes = ~0ull;
+  uint64_t max_bytes = 0;
+  uint64_t outputs = 0;
+};
+
+template <typename Op>
+Balance Run(const Workload& w, Op& op, SimEngine& engine) {
+  engine.Start();
+  auto source = w.MakeSource(ArrivalPolicy{});
+  StreamTuple t;
+  while (source->Next(&t)) {
+    op.Push(t);
+    engine.WaitQuiescent();
+  }
+  op.SendEos();
+  engine.WaitQuiescent();
+  Balance b;
+  for (size_t i = 0; i < op.num_joiner_slots(); ++i) {
+    const auto& m = op.joiner(i).metrics();
+    b.min_bytes = std::min(b.min_bytes, m.in_bytes);
+    b.max_bytes = std::max(b.max_bytes, m.in_bytes);
+  }
+  b.outputs = op.TotalOutputs();
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  // EQ5: (Region |X| Nation |X| Supplier) |X| Lineitem on suppkey, with the
+  // lineitem foreign keys drawn Zipf(z=1) — the paper's Z4 setting.
+  TpchConfig cfg;
+  cfg.gb = 1.0;
+  cfg.lineitem_rows_per_gb = 50000;
+  cfg.zipf_z = 1.0;
+  Workload w(QueryId::kEQ5, cfg);
+  std::printf("EQ5 on %llu R x %llu S tuples, Zipf z=1.0, J=16\n\n",
+              static_cast<unsigned long long>(w.r_count()),
+              static_cast<unsigned long long>(w.s_count()));
+
+  {
+    SimEngine engine;
+    OperatorConfig oc;
+    oc.spec = w.spec();
+    oc.machines = 16;
+    oc.adaptive = true;
+    oc.keep_rows = false;
+    oc.min_total_before_adapt = 512;
+    JoinOperator dynamic_op(engine, oc);
+    Balance b = Run(w, dynamic_op, engine);
+    std::printf("Dynamic   : outputs %-9llu per-joiner input %6.0f..%.0f KB "
+                "(max/min %.2fx)\n",
+                static_cast<unsigned long long>(b.outputs),
+                b.min_bytes / 1024.0, b.max_bytes / 1024.0,
+                static_cast<double>(b.max_bytes) /
+                    std::max<uint64_t>(1, b.min_bytes));
+  }
+  {
+    SimEngine engine;
+    OperatorConfig oc;
+    oc.spec = w.spec();
+    oc.machines = 16;
+    oc.keep_rows = false;
+    ShjOperator shj(engine, oc);
+    Balance b = Run(w, shj, engine);
+    std::printf("SHJ       : outputs %-9llu per-joiner input %6.0f..%.0f KB "
+                "(max/min %.2fx)\n",
+                static_cast<unsigned long long>(b.outputs),
+                b.min_bytes / 1024.0, b.max_bytes / 1024.0,
+                static_cast<double>(b.max_bytes) /
+                    std::max<uint64_t>(1, b.min_bytes));
+  }
+  std::printf(
+      "\nBoth produce identical results; the grid operator's random tagging\n"
+      "keeps joiners balanced while key-hashing concentrates the hot\n"
+      "suppliers on a few machines (which then spill to disk at scale).\n");
+  return 0;
+}

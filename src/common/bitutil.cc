@@ -1,0 +1,14 @@
+#include "src/common/bitutil.h"
+
+namespace ajoin {
+
+std::vector<uint64_t> BinaryDecompose(uint64_t j) {
+  std::vector<uint64_t> parts;
+  for (int b = 63; b >= 0; --b) {
+    uint64_t p = 1ULL << b;
+    if (j & p) parts.push_back(p);
+  }
+  return parts;
+}
+
+}  // namespace ajoin

@@ -1,0 +1,32 @@
+// Power-of-two helpers and the binary decomposition used by the
+// non-power-of-two-J group scheme (paper section 4.2.2).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ajoin {
+
+/// True iff x is a power of two (x > 0).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)); x must be > 0.
+constexpr int FloorLog2(uint64_t x) { return 63 - __builtin_clzll(x); }
+
+/// Exact log2 of a power of two.
+constexpr int Log2Exact(uint64_t x) { return FloorLog2(x); }
+
+/// Largest power of two <= x (x > 0).
+constexpr uint64_t FloorPowerOfTwo(uint64_t x) { return 1ULL << FloorLog2(x); }
+
+/// Smallest power of two >= x (x > 0).
+constexpr uint64_t CeilPowerOfTwo(uint64_t x) {
+  return IsPowerOfTwo(x) ? x : 1ULL << (FloorLog2(x) + 1);
+}
+
+/// Binary decomposition of J into powers of two, descending.
+/// E.g. 22 -> {16, 4, 2}. Used to split a machine pool into grid groups.
+std::vector<uint64_t> BinaryDecompose(uint64_t j);
+
+}  // namespace ajoin

@@ -1,0 +1,25 @@
+#include "src/common/bytes.h"
+
+#include <cstdio>
+
+namespace ajoin {
+
+std::string FormatBytes(double bytes) {
+  const char* unit = "B";
+  double v = bytes;
+  if (v >= static_cast<double>(kGiB)) {
+    v /= static_cast<double>(kGiB);
+    unit = "GB";
+  } else if (v >= static_cast<double>(kMiB)) {
+    v /= static_cast<double>(kMiB);
+    unit = "MB";
+  } else if (v >= static_cast<double>(kKiB)) {
+    v /= static_cast<double>(kKiB);
+    unit = "KB";
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, unit);
+  return buf;
+}
+
+}  // namespace ajoin

@@ -1,0 +1,17 @@
+// Byte-size helpers: constants and human-readable formatting.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ajoin {
+
+constexpr uint64_t kKiB = 1024ULL;
+constexpr uint64_t kMiB = 1024ULL * kKiB;
+constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+/// "1.50 GB", "320.00 MB", ... (decimal for readability, 2 digits).
+std::string FormatBytes(double bytes);
+
+}  // namespace ajoin

@@ -1,0 +1,73 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ajoin {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketOf(double value) {
+  if (value < 1.0) return 0;
+  int b = static_cast<int>(std::floor(std::log2(value))) + 1;
+  return std::min(b, kBuckets - 1);
+}
+
+void Histogram::Record(double value) {
+  if (value < 0) value = 0;
+  buckets_[static_cast<size_t>(BucketOf(value))]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] > target) {
+      double lo = (i == 0) ? 0.0 : std::pow(2.0, i - 1);
+      double hi = std::pow(2.0, i);
+      double frac = static_cast<double>(target - seen) /
+                    static_cast<double>(buckets_[i]);
+      return std::min(lo + frac * (hi - lo), max_);
+    }
+    seen += buckets_[i];
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f p50=%.2f p99=%.2f max=%.2f",
+                static_cast<unsigned long long>(count_), Mean(),
+                Percentile(0.5), Percentile(0.99), max_);
+  return buf;
+}
+
+}  // namespace ajoin

@@ -1,0 +1,44 @@
+// Fixed-bucket log-scale histogram for latency/size distributions.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ajoin {
+
+/// Records non-negative samples into power-of-two buckets; supports count,
+/// mean, and approximate percentiles. Not thread-safe (aggregate per task,
+/// merge at the end).
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(double value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return max_; }
+
+  /// Approximate p-quantile, p in [0, 1]; interpolates within a bucket.
+  double Percentile(double p) const;
+
+  /// Short summary string: count/mean/p50/p99/max.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  static int BucketOf(double value);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ajoin

@@ -1,0 +1,32 @@
+// Minimal leveled logger. Thread-safe, printf-style.
+//
+// Default level is kWarn so tests and benchmarks stay quiet; set
+// AJOIN_LOG_LEVEL=debug|info|warn|error or call SetLogLevel().
+
+#pragma once
+
+#include <cstdarg>
+
+namespace ajoin {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global log level.
+void SetLogLevel(LogLevel level);
+
+/// Current global log level (initialized from AJOIN_LOG_LEVEL env var).
+LogLevel GetLogLevel();
+
+/// Emits one log line if `level` passes the global threshold.
+void LogAt(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+}  // namespace ajoin
+
+#define AJOIN_LOG_DEBUG(...) ::ajoin::LogAt(::ajoin::LogLevel::kDebug, __VA_ARGS__)
+#define AJOIN_LOG_INFO(...) ::ajoin::LogAt(::ajoin::LogLevel::kInfo, __VA_ARGS__)
+#define AJOIN_LOG_WARN(...) ::ajoin::LogAt(::ajoin::LogLevel::kWarn, __VA_ARGS__)
+#define AJOIN_LOG_ERROR(...) ::ajoin::LogAt(::ajoin::LogLevel::kError, __VA_ARGS__)

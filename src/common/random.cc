@@ -1,0 +1,77 @@
+#include "src/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace ajoin {
+
+ZipfSampler::ZipfSampler(uint64_t n, double z) : n_(n), z_(z) {
+  AJOIN_CHECK_MSG(n >= 1, "Zipf domain must be non-empty");
+  AJOIN_CHECK_MSG(z >= 0.0, "Zipf skew must be non-negative");
+  if (n_ <= kExactLimit) {
+    cdf_.resize(n_);
+    double acc = 0.0;
+    for (uint64_t k = 1; k <= n_; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k), z_);
+      cdf_[k - 1] = acc;
+    }
+    norm_ = acc;
+    for (auto& v : cdf_) v /= norm_;
+    return;
+  }
+  // Large domain: geometric buckets [2^i, 2^{i+1}); probability mass of a
+  // bucket is integral-approximated; values inside a bucket are drawn
+  // uniformly. This preserves the head skew (small buckets are exact since
+  // early buckets have width 1, 2, 4, ...).
+  uint64_t lo = 1;
+  double acc = 0.0;
+  while (lo <= n_) {
+    uint64_t hi = std::min(n_, lo * 2 - 1);
+    double mass = 0.0;
+    if (hi - lo < 64) {
+      for (uint64_t k = lo; k <= hi; ++k) {
+        mass += 1.0 / std::pow(static_cast<double>(k), z_);
+      }
+    } else {
+      // integral of x^-z over [lo, hi+1]
+      if (std::abs(z_ - 1.0) < 1e-12) {
+        mass = std::log(static_cast<double>(hi + 1) / static_cast<double>(lo));
+      } else {
+        mass = (std::pow(static_cast<double>(hi + 1), 1.0 - z_) -
+                std::pow(static_cast<double>(lo), 1.0 - z_)) /
+               (1.0 - z_);
+      }
+    }
+    acc += mass;
+    bucket_lo_.push_back(lo);
+    bucket_cdf_.push_back(acc);
+    if (hi == n_) break;
+    lo = hi + 1;
+  }
+  norm_ = acc;
+  for (auto& v : bucket_cdf_) v /= norm_;
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  if (!cdf_.empty()) {
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) return n_;
+    return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+  }
+  auto it = std::lower_bound(bucket_cdf_.begin(), bucket_cdf_.end(), u);
+  size_t b = (it == bucket_cdf_.end()) ? bucket_cdf_.size() - 1
+                                       : static_cast<size_t>(it - bucket_cdf_.begin());
+  uint64_t lo = bucket_lo_[b];
+  uint64_t hi = (b + 1 < bucket_lo_.size()) ? bucket_lo_[b + 1] - 1 : n_;
+  return lo + rng.Uniform(hi - lo + 1);
+}
+
+double ZipfSampler::Probability(uint64_t k) const {
+  AJOIN_CHECK(k >= 1 && k <= n_);
+  return (1.0 / std::pow(static_cast<double>(k), z_)) / norm_;
+}
+
+}  // namespace ajoin

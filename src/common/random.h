@@ -1,0 +1,100 @@
+// Deterministic pseudo-random utilities: SplitMix64 hashing, Xoshiro256**
+// generator, and a Zipf sampler used by the skewed TPC-H-like generator.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ajoin {
+
+/// SplitMix64 finalizer; also a good 64-bit mixing hash.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** PRNG (Blackman/Vigna). Fast, 256-bit state, deterministic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0xdecafbadULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x = SplitMix64(x);
+      s = x;
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    // Lemire's multiply-shift rejection-free approximation is fine here: the
+    // bias is < bound / 2^64, negligible for data generation.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli(p).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+/// Zipf(z) sampler over the domain {1, ..., n}.
+///
+/// z = 0 degenerates to uniform. Uses the inverse-CDF method over a
+/// precomputed prefix table for small domains and Chaudhuri/Narasayya-style
+/// bucketed approximation beyond; deterministic given the Rng.
+class ZipfSampler {
+ public:
+  /// Builds a sampler for domain size n and skew parameter z >= 0.
+  ZipfSampler(uint64_t n, double z);
+
+  /// Samples a value in [1, n].
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t domain() const { return n_; }
+  double z() const { return z_; }
+
+  /// Exact probability of value k (for tests).
+  double Probability(uint64_t k) const;
+
+ private:
+  uint64_t n_;
+  double z_;
+  double norm_;                   // generalized harmonic number H_{n,z}
+  std::vector<double> cdf_;       // exact CDF for small domains
+  // For large domains: cdf over kBuckets geometric buckets; uniform within.
+  std::vector<double> bucket_cdf_;
+  std::vector<uint64_t> bucket_lo_;
+  static constexpr uint64_t kExactLimit = 1u << 20;
+};
+
+}  // namespace ajoin

@@ -1,0 +1,119 @@
+// Lightweight Status / Result types used across the library.
+//
+// The library follows a no-exceptions-on-hot-paths policy: recoverable errors
+// are reported through Status / Result<T>; programming errors abort via
+// AJOIN_CHECK.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace ajoin {
+
+/// Error categories used by Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kIOError,
+  kInternal,
+  kNotSupported,
+};
+
+/// Returns a human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, value-semantic error carrier. An OK status stores no message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status IOError(std::string m) {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Result<T> is either a value or a Status error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : ok_(true), value_(std::move(value)) {}  // NOLINT(implicit)
+  Result(Status status) : ok_(false), status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return ok_; }
+  const Status& status() const { return status_; }
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T take() { return std::move(value_); }
+
+ private:
+  bool ok_;
+  T value_{};
+  Status status_;
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+}  // namespace ajoin
+
+/// Fatal invariant check; always active (benchmark code relies on it too).
+#define AJOIN_CHECK(expr)                                          \
+  do {                                                             \
+    if (!(expr)) ::ajoin::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define AJOIN_CHECK_MSG(expr, msg)                                   \
+  do {                                                               \
+    if (!(expr)) ::ajoin::CheckFailed(__FILE__, __LINE__, #expr, msg); \
+  } while (0)
+
+#define AJOIN_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::ajoin::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (0)

@@ -1,0 +1,59 @@
+#include "src/core/content.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace ajoin {
+
+ContentAnalysis AnalyzeKeyBand(const KeyHistogram& r_hist,
+                               const KeyHistogram& s_hist, int64_t band_lo,
+                               int64_t band_hi, int64_t key_lo,
+                               int64_t key_hi, uint32_t j) {
+  AJOIN_CHECK(r_hist.num_buckets() == s_hist.num_buckets());
+  AJOIN_CHECK(band_lo <= band_hi && key_hi > key_lo && j > 0);
+  const size_t buckets = r_hist.num_buckets();
+  const double width = static_cast<double>(key_hi - key_lo) /
+                       static_cast<double>(buckets);
+
+  // A cell (r-bucket a, s-bucket b) is a candidate iff the key intervals
+  // can satisfy r - s in [band_lo, band_hi]:
+  //   max over the intervals of (r - s) >= band_lo and min <= band_hi.
+  const double r_total = static_cast<double>(r_hist.total());
+  const double s_total = static_cast<double>(s_hist.total());
+  if (r_total == 0 || s_total == 0) {
+    return ContentAnalysis{0.0, 0, 1.0};
+  }
+  double candidate_mass = 0.0;
+  for (size_t a = 0; a < buckets; ++a) {
+    double r_mass = static_cast<double>(r_hist.BucketCount(a)) / r_total;
+    if (r_mass == 0) continue;
+    double r_lo = static_cast<double>(key_lo) + width * static_cast<double>(a);
+    double r_hi = r_lo + width;
+    for (size_t b = 0; b < buckets; ++b) {
+      double s_mass = static_cast<double>(s_hist.BucketCount(b)) / s_total;
+      if (s_mass == 0) continue;
+      double s_lo =
+          static_cast<double>(key_lo) + width * static_cast<double>(b);
+      double s_hi = s_lo + width;
+      double diff_min = r_lo - s_hi;
+      double diff_max = r_hi - s_lo;
+      bool candidate = diff_max >= static_cast<double>(band_lo) &&
+                       diff_min <= static_cast<double>(band_hi);
+      if (candidate) candidate_mass += r_mass * s_mass;
+    }
+  }
+  ContentAnalysis out;
+  out.candidate_fraction = std::min(1.0, candidate_mass);
+  out.joiners_needed = std::min<uint32_t>(
+      j, static_cast<uint32_t>(
+             std::ceil(out.candidate_fraction * static_cast<double>(j))));
+  if (out.joiners_needed == 0 && out.candidate_fraction > 0) {
+    out.joiners_needed = 1;
+  }
+  out.wasted_area_fraction = 1.0 - out.candidate_fraction;
+  return out;
+}
+
+}  // namespace ajoin

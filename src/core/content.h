@@ -1,0 +1,44 @@
+// Content-sensitive join-matrix analysis (the paper's future-work direction,
+// section 6): "In such low-selectivity joins, the join matrix contains large
+// regions where the join condition never holds. These regions need not be
+// assigned joiners."
+//
+// Given per-relation key histograms (gathered by the reshufflers' extended
+// statistics, section 4.1), this module estimates which fraction of the
+// join matrix can possibly produce matches under an equi or band predicate,
+// and how many joiners a content-sensitive assignment would need to cover
+// only the candidate region at the same per-cell area. The adaptive
+// operator itself remains content-insensitive — this is the planning
+// analysis such an operator would be built on.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/stats.h"
+#include "src/localjoin/predicate.h"
+
+namespace ajoin {
+
+struct ContentAnalysis {
+  /// Fraction of the |R| x |S| join matrix (by tuple mass) whose cells can
+  /// satisfy the predicate.
+  double candidate_fraction = 1.0;
+  /// Joiners needed to cover only the candidate region with the same
+  /// per-joiner cell area as the content-insensitive grid uses for the
+  /// whole matrix. min(J, ceil(J * candidate_fraction)).
+  uint32_t joiners_needed = 0;
+  /// Upper bound on the fraction of join work a content-insensitive grid
+  /// spends probing cells that can never match.
+  double wasted_area_fraction = 0.0;
+};
+
+/// Analyzes a key-band predicate R.key - S.key in [band_lo, band_hi]
+/// (band_lo = band_hi = 0 for equi joins) against the two key histograms.
+/// Histograms must cover the same key range with the same bucket count.
+ContentAnalysis AnalyzeKeyBand(const KeyHistogram& r_hist,
+                               const KeyHistogram& s_hist, int64_t band_lo,
+                               int64_t band_hi, int64_t key_lo,
+                               int64_t key_hi, uint32_t j);
+
+}  // namespace ajoin

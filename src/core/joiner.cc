@@ -1,0 +1,490 @@
+#include "src/core/joiner.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/tuple/serde.h"
+
+namespace ajoin {
+
+JoinerCore::JoinerCore(JoinerConfig config)
+    : config_(std::move(config)),
+      layout_(config_.initial_layout),
+      index_{JoinIndex(JoinIndex::KindFor(config_.spec.kind)),
+             JoinIndex(JoinIndex::KindFor(config_.spec.kind))} {}
+
+void JoinerCore::OnMessage(Envelope msg, Context& ctx) {
+  switch (msg.type) {
+    case MsgType::kData:
+      HandleData(msg, ctx);
+      break;
+    case MsgType::kMigrate:
+      HandleMigrate(msg, ctx);
+      break;
+    case MsgType::kMigEnd:
+      HandleMigEnd(msg, ctx);
+      break;
+    case MsgType::kReshufSignal:
+      HandleSignal(msg, ctx);
+      break;
+    case MsgType::kEos:
+      HandleEos(msg, ctx);
+      break;
+    default:
+      AJOIN_CHECK_MSG(false, "joiner: unexpected message type");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Probe scopes
+// ---------------------------------------------------------------------------
+
+bool JoinerCore::EntryInScope(const StoredEntry& entry, Rel entry_rel,
+                              Scope scope) const {
+  switch (scope) {
+    case Scope::kAll:
+      // Steady state. Early-arriving migrated tuples (origin MIG before our
+      // first signal) must be excluded: their pairs with old-epoch tuples are
+      // produced at the machines owning them under the old mapping.
+      return entry.origin == kOriginData;
+    case Scope::kOldData:
+      return entry.origin == kOriginData && entry.epoch <= old_epoch_;
+    case Scope::kNewOwned:
+      return plan_->Keeps(config_.machine_index, entry_rel, entry.tag);
+    case Scope::kDeltaPrime:
+      return entry.epoch == new_epoch_ && entry.origin == kOriginData;
+  }
+  return false;
+}
+
+void JoinerCore::Probe(const Envelope& msg, Scope scope, Context& ctx) {
+  const Rel opp = Opposite(msg.rel);
+  const auto opp_i = static_cast<size_t>(opp);
+  int64_t lo = 0, hi = 0;
+  config_.spec.ProbeRange(msg.rel, msg.key, &lo, &hi);
+  const auto& entries = entries_[opp_i];
+  index_[opp_i].ForEachCandidate(lo, hi, [&](uint64_t id) {
+    const StoredEntry& entry = entries[id];
+    metrics_.probe_candidates++;
+    if (!EntryInScope(entry, opp, scope)) return;
+    bool match;
+    if (msg.has_row && entry.has_row) {
+      match = (msg.rel == Rel::kR) ? config_.spec.Matches(msg.row, entry.row)
+                                   : config_.spec.Matches(entry.row, msg.row);
+    } else {
+      // Slim mode: index candidates already satisfy the key predicate for
+      // equi/band; theta requires rows.
+      AJOIN_CHECK_MSG(config_.spec.kind != JoinSpec::Kind::kTheta,
+                      "theta joins require materialized rows");
+      match = true;
+    }
+    if (match) Emit(msg, entry, msg.rel, ctx);
+  });
+}
+
+void JoinerCore::Emit(const Envelope& msg, const StoredEntry& matched,
+                      Rel msg_rel, Context& ctx) {
+  ++output_count_;
+  metrics_.output_tuples++;
+  if (config_.collect_pairs) {
+    if (msg_rel == Rel::kR) {
+      pairs_.emplace_back(msg.seq, matched.seq);
+    } else {
+      pairs_.emplace_back(matched.seq, msg.seq);
+    }
+  }
+  if (config_.latency_every != 0 && msg.ingest_us != 0 &&
+      output_count_ % config_.latency_every == 0) {
+    uint64_t now = ctx.NowMicros();
+    if (now > msg.ingest_us) {
+      metrics_.latency_us.Record(static_cast<double>(now - msg.ingest_us));
+    }
+  }
+}
+
+void JoinerCore::Store(const Envelope& msg, uint8_t origin, uint32_t epoch) {
+  const auto rel_i = static_cast<size_t>(msg.rel);
+  StoredEntry entry;
+  entry.key = msg.key;
+  entry.tag = msg.tag;
+  entry.seq = msg.seq;
+  entry.bytes = msg.bytes;
+  entry.epoch = epoch;
+  entry.origin = origin;
+  if (msg.has_row && config_.keep_rows) {
+    entry.has_row = true;
+    entry.row = msg.row;
+  }
+  int64_t index_key =
+      (config_.spec.kind == JoinSpec::Kind::kTheta) ? 0 : msg.key;
+  entries_[rel_i].push_back(std::move(entry));
+  index_[rel_i].Add(index_key, entries_[rel_i].size() - 1);
+  metrics_.NoteStored(msg.bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------------
+
+void JoinerCore::HandleData(Envelope& msg, Context& ctx) {
+  if (!msg.store) {
+    // Cross-group probe. Grouped operators run with barrier migrations, so
+    // probes never overlap an active migration (DESIGN.md section 5).
+    AJOIN_CHECK_MSG(!migrating_, "probe during migration (barrier violated)");
+    Probe(msg, Scope::kAll, ctx);
+    return;
+  }
+  metrics_.in_tuples++;
+  metrics_.in_bytes += msg.bytes;
+
+  if (!migrating_) {
+    AJOIN_CHECK_MSG(msg.epoch == epoch_,
+                    "new-epoch tuple before its reshuffler signal");
+    Probe(msg, Scope::kAll, ctx);
+    Store(msg, kOriginData, msg.epoch);
+    return;
+  }
+
+  if (msg.epoch == old_epoch_) {
+    // Δ tuple (Alg. 3, HandleTuple1 lines 15-20).
+    Probe(msg, Scope::kOldData, ctx);
+    bool keep = plan_->Keeps(config_.machine_index, msg.rel, msg.tag);
+    if (keep) Probe(msg, Scope::kDeltaPrime, ctx);
+    Store(msg, kOriginData, old_epoch_);
+    ForwardPerDirectives(msg, ctx);
+  } else if (msg.epoch == new_epoch_) {
+    // Δ' tuple (lines 12-14 / 24-26).
+    Probe(msg, Scope::kNewOwned, ctx);
+    Store(msg, kOriginData, new_epoch_);
+  } else {
+    AJOIN_CHECK_MSG(false, "tuple more than one epoch away");
+  }
+}
+
+void JoinerCore::HandleMigrate(Envelope& msg, Context& ctx) {
+  metrics_.mig_in_tuples++;
+  metrics_.mig_in_bytes += msg.bytes;
+  // µ tuple: join with Δ' only (lines 10-11 / 22-23). Δ' entries carry the
+  // pending epoch (epoch_ + 1 when the migration has not locally started).
+  uint32_t pending = migrating_ ? new_epoch_ : epoch_ + 1;
+  const Rel opp = Opposite(msg.rel);
+  const auto opp_i = static_cast<size_t>(opp);
+  int64_t lo = 0, hi = 0;
+  config_.spec.ProbeRange(msg.rel, msg.key, &lo, &hi);
+  const auto& entries = entries_[opp_i];
+  index_[opp_i].ForEachCandidate(lo, hi, [&](uint64_t id) {
+    const StoredEntry& entry = entries[id];
+    metrics_.probe_candidates++;
+    if (entry.epoch != pending || entry.origin != kOriginData) return;
+    bool match;
+    if (msg.has_row && entry.has_row) {
+      match = (msg.rel == Rel::kR) ? config_.spec.Matches(msg.row, entry.row)
+                                   : config_.spec.Matches(entry.row, msg.row);
+    } else {
+      AJOIN_CHECK(config_.spec.kind != JoinSpec::Kind::kTheta);
+      match = true;
+    }
+    if (match) Emit(msg, entry, msg.rel, ctx);
+  });
+  Store(msg, kOriginMig, msg.epoch);
+}
+
+void JoinerCore::HandleMigEnd(Envelope& msg, Context& ctx) {
+  if (plan_ == nullptr) {
+    ++early_migend_;
+    return;
+  }
+  --migend_pending_;
+  MaybeFinalize(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Migration control
+// ---------------------------------------------------------------------------
+
+void JoinerCore::HandleSignal(Envelope& msg, Context& ctx) {
+  const EpochSpec& spec = msg.espec;
+  AJOIN_CHECK(spec.group == config_.group);
+  if (signals_seen_ == 0) {
+    StartMigration(spec, ctx);
+  } else {
+    AJOIN_CHECK_MSG(spec.epoch == new_epoch_, "signal for wrong epoch");
+  }
+  ++signals_seen_;
+  AJOIN_CHECK(signals_seen_ <= config_.num_reshufflers);
+  if (signals_seen_ == config_.num_reshufflers &&
+      config_.machine_index < plan_->NumMachines()) {
+    // No further Δ can arrive (FIFO per reshuffler channel): flush MigEnd
+    // markers to every migration target. (Machines without directives —
+    // expansion children, pure-discard peers — have no targets.)
+    for (uint32_t target : plan_->TargetsOf(config_.machine_index)) {
+      Envelope end;
+      end.type = MsgType::kMigEnd;
+      end.group = config_.group;
+      ctx.Send(config_.joiner_task_base + static_cast<int>(target),
+               std::move(end));
+    }
+  }
+  MaybeFinalize(ctx);
+}
+
+void JoinerCore::StartMigration(const EpochSpec& spec, Context& ctx) {
+  AJOIN_CHECK_MSG(!migrating_, "overlapping migrations");
+  AJOIN_CHECK_MSG(spec.epoch == epoch_ + 1, "non-consecutive epoch");
+  migrating_ = true;
+  old_epoch_ = epoch_;
+  new_epoch_ = spec.epoch;
+  to_layout_ =
+      spec.expansion ? layout_.Expand() : layout_.Relabel(spec.mapping);
+  AJOIN_CHECK(to_layout_.mapping() == spec.mapping);
+  plan_ = std::make_unique<MigrationPlan>(layout_, to_layout_, spec.expansion);
+  // Participation is defined by the *target* layout: expansion children are
+  // not in the old grid but receive state and must ack; machines beyond the
+  // target grid only track the layout.
+  if (config_.machine_index < to_layout_.J()) {
+    migend_pending_ = static_cast<int64_t>(
+                          plan_->ExpectedSenders(config_.machine_index).size()) -
+                      early_migend_;
+    early_migend_ = 0;
+    SendOldStateForMigration(ctx);  // "Send tau for migration" (line 3)
+  } else {
+    migend_pending_ = 0;
+  }
+}
+
+void JoinerCore::SendOldStateForMigration(Context& ctx) {
+  if (config_.machine_index >= plan_->from().J()) return;  // new machine
+  const auto& directives = plan_->SendsOf(config_.machine_index);
+  if (directives.empty()) return;
+  for (int rel_i = 0; rel_i < 2; ++rel_i) {
+    Rel rel = static_cast<Rel>(rel_i);
+    uint32_t parts =
+        rel == Rel::kR ? to_layout_.mapping().n : to_layout_.mapping().m;
+    for (const StoredEntry& entry : entries_[static_cast<size_t>(rel_i)]) {
+      if (entry.origin != kOriginData) continue;  // early µ is not our state
+      uint32_t part = PartitionOf(entry.tag, parts);
+      for (const SendDirective& d : directives) {
+        if (d.rel != rel || d.part != part) continue;
+        Envelope mig;
+        mig.type = MsgType::kMigrate;
+        mig.rel = rel;
+        mig.key = entry.key;
+        mig.tag = entry.tag;
+        mig.seq = entry.seq;
+        mig.bytes = entry.bytes;
+        mig.epoch = old_epoch_;
+        mig.group = config_.group;
+        if (entry.has_row) {
+          mig.has_row = true;
+          mig.row = entry.row;
+        }
+        metrics_.mig_out_tuples++;
+        metrics_.mig_out_bytes += entry.bytes;
+        ctx.Send(config_.joiner_task_base + static_cast<int>(d.target),
+                 std::move(mig));
+      }
+    }
+  }
+}
+
+void JoinerCore::ForwardPerDirectives(const Envelope& msg, Context& ctx) {
+  // Δ tuple: forward to migration targets whose partition filter matches
+  // (Alg. 3 lines 19-20).
+  const auto& directives = plan_->SendsOf(config_.machine_index);
+  if (directives.empty()) return;
+  uint32_t parts =
+      msg.rel == Rel::kR ? to_layout_.mapping().n : to_layout_.mapping().m;
+  uint32_t part = PartitionOf(msg.tag, parts);
+  for (const SendDirective& d : directives) {
+    if (d.rel != msg.rel || d.part != part) continue;
+    SendMigrateTuple(msg, d.target, ctx);
+  }
+}
+
+void JoinerCore::SendMigrateTuple(const Envelope& src, uint32_t target_machine,
+                                  Context& ctx) {
+  Envelope mig = src;
+  mig.type = MsgType::kMigrate;
+  mig.epoch = old_epoch_;
+  metrics_.mig_out_tuples++;
+  metrics_.mig_out_bytes += src.bytes;
+  ctx.Send(config_.joiner_task_base + static_cast<int>(target_machine),
+           std::move(mig));
+}
+
+void JoinerCore::MaybeFinalize(Context& ctx) {
+  if (!migrating_) return;
+  if (signals_seen_ < config_.num_reshufflers) return;
+  if (config_.machine_index < to_layout_.J() && migend_pending_ > 0) return;
+  FinalizeMigration(ctx);
+}
+
+void JoinerCore::FinalizeMigration(Context& ctx) {
+  // tau <- Keep(tau ∪ Δ) ∪ µ ∪ Δ' (Alg. 3 line 29): physically drop Discard
+  // entries, reset labels, rebuild indexes.
+  bool acks = config_.machine_index < to_layout_.J();
+  for (int rel_i = 0; rel_i < 2; ++rel_i) {
+    Rel rel = static_cast<Rel>(rel_i);
+    auto& entries = entries_[static_cast<size_t>(rel_i)];
+    std::vector<StoredEntry> kept;
+    kept.reserve(entries.size());
+    uint64_t dropped = 0, dropped_bytes = 0;
+    for (StoredEntry& entry : entries) {
+      if (config_.machine_index < to_layout_.J() &&
+          to_layout_.Owns(config_.machine_index, rel, entry.tag)) {
+        entry.origin = kOriginData;
+        kept.push_back(std::move(entry));
+      } else {
+        ++dropped;
+        dropped_bytes += entry.bytes;
+      }
+    }
+    entries = std::move(kept);
+    metrics_.NoteDropped(dropped, dropped_bytes);
+    auto& index = index_[static_cast<size_t>(rel_i)];
+    index.Clear();
+    for (uint64_t id = 0; id < entries.size(); ++id) {
+      int64_t index_key =
+          (config_.spec.kind == JoinSpec::Kind::kTheta) ? 0 : entries[id].key;
+      index.Add(index_key, id);
+    }
+  }
+  layout_ = to_layout_;
+  epoch_ = new_epoch_;
+  migrating_ = false;
+  signals_seen_ = 0;
+  plan_.reset();
+  migend_pending_ = 0;
+  metrics_.migrations_finalized++;
+  if (acks) {
+    Envelope ack;
+    ack.type = MsgType::kMigAck;
+    ack.group = config_.group;
+    ack.espec.group = config_.group;
+    ack.espec.epoch = epoch_;
+    ctx.Send(config_.controller_task, std::move(ack));
+  }
+}
+
+void JoinerCore::HandleEos(Envelope& msg, Context& ctx) {
+  ++eos_seen_;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore (fault-tolerance hooks, paper section 4.3.3)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x414a534eu;  // "AJSN"
+constexpr uint16_t kSnapshotVersion = 1;
+
+template <typename T>
+void PutRaw(T v, std::vector<uint8_t>* out) {
+  size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(const std::vector<uint8_t>& buf, size_t* offset, T* v) {
+  if (*offset + sizeof(T) > buf.size()) return false;
+  std::memcpy(v, buf.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+Status JoinerCore::SnapshotState(std::vector<uint8_t>* out) const {
+  if (migrating_) {
+    return Status::FailedPrecondition("cannot snapshot during a migration");
+  }
+  PutRaw(kSnapshotMagic, out);
+  PutRaw(kSnapshotVersion, out);
+  PutRaw(epoch_, out);
+  for (int rel_i = 0; rel_i < 2; ++rel_i) {
+    const auto& entries = entries_[static_cast<size_t>(rel_i)];
+    PutRaw<uint64_t>(entries.size(), out);
+    for (const StoredEntry& entry : entries) {
+      PutRaw(entry.key, out);
+      PutRaw(entry.tag, out);
+      PutRaw(entry.seq, out);
+      PutRaw(entry.bytes, out);
+      PutRaw(entry.epoch, out);
+      PutRaw<uint8_t>(entry.has_row ? 1 : 0, out);
+      if (entry.has_row) SerializeRow(entry.row, out);
+    }
+  }
+  return Status::OK();
+}
+
+Status JoinerCore::RestoreState(const std::vector<uint8_t>& buf) {
+  if (migrating_) {
+    return Status::FailedPrecondition("cannot restore during a migration");
+  }
+  size_t offset = 0;
+  uint32_t magic;
+  uint16_t version;
+  uint32_t epoch;
+  if (!GetRaw(buf, &offset, &magic) || magic != kSnapshotMagic) {
+    return Status::InvalidArgument("bad snapshot magic");
+  }
+  if (!GetRaw(buf, &offset, &version) || version != kSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+  if (!GetRaw(buf, &offset, &epoch)) {
+    return Status::InvalidArgument("truncated snapshot header");
+  }
+  std::vector<StoredEntry> restored[2];
+  for (int rel_i = 0; rel_i < 2; ++rel_i) {
+    uint64_t count;
+    if (!GetRaw(buf, &offset, &count)) {
+      return Status::InvalidArgument("truncated entry count");
+    }
+    restored[rel_i].reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      StoredEntry entry;
+      uint8_t has_row;
+      if (!GetRaw(buf, &offset, &entry.key) ||
+          !GetRaw(buf, &offset, &entry.tag) ||
+          !GetRaw(buf, &offset, &entry.seq) ||
+          !GetRaw(buf, &offset, &entry.bytes) ||
+          !GetRaw(buf, &offset, &entry.epoch) ||
+          !GetRaw(buf, &offset, &has_row)) {
+        return Status::InvalidArgument("truncated snapshot entry");
+      }
+      if (has_row != 0) {
+        auto row = DeserializeRow(buf, &offset);
+        if (!row.ok()) return row.status();
+        entry.has_row = true;
+        entry.row = row.take();
+      }
+      restored[rel_i].push_back(std::move(entry));
+    }
+  }
+  // Commit: replace state, rebuild indexes, reset storage accounting. The
+  // recovered operator restarts its epoch numbering at 0 (reshufflers and
+  // controller are fresh), so entry epochs are normalized.
+  (void)epoch;
+  metrics_.stored_tuples = 0;
+  metrics_.stored_bytes = 0;
+  for (int rel_i = 0; rel_i < 2; ++rel_i) {
+    auto& entries = entries_[static_cast<size_t>(rel_i)];
+    entries = std::move(restored[rel_i]);
+    auto& index = index_[static_cast<size_t>(rel_i)];
+    index.Clear();
+    for (uint64_t id = 0; id < entries.size(); ++id) {
+      entries[id].epoch = 0;
+      entries[id].origin = kOriginData;
+      int64_t key =
+          (config_.spec.kind == JoinSpec::Kind::kTheta) ? 0 : entries[id].key;
+      index.Add(key, id);
+      metrics_.NoteStored(entries[id].bytes);
+    }
+  }
+  epoch_ = 0;
+  return Status::OK();
+}
+
+}  // namespace ajoin

@@ -1,0 +1,150 @@
+// JoinerCore: the joiner task, implementing the paper's Algorithm 3
+// (Joiner-Epoch Algorithm) — non-blocking, eventually consistent state
+// migration with correct and complete output.
+//
+// Tuple sets are realized as entry metadata rather than separate containers:
+// every stored entry carries (tag, epoch, origin); probe scopes during a
+// migration from epoch E to E+1 become metadata filters (DESIGN.md section 5):
+//   tau ∪ Δ           = { origin == DATA, epoch <= E }
+//   Keep(tau∪Δ) ∪ µ ∪ Δ' = { entry's partition under the target mapping
+//                            matches this machine's new coordinates }
+//   Δ'                = { epoch == E+1 }
+// FinalizeMigration physically drops Discard entries, rebuilds indexes, and
+// resets origins, collapsing everything back to a single tau.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/core/migration.h"
+#include "src/core/partition.h"
+#include "src/localjoin/join_index.h"
+#include "src/localjoin/predicate.h"
+#include "src/net/message.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/task.h"
+
+namespace ajoin {
+
+struct JoinerConfig {
+  JoinSpec spec;
+  uint32_t group = 0;
+  uint32_t machine_index = 0;     // index within the group's machine block
+  GridLayout initial_layout;
+  uint32_t num_reshufflers = 1;
+  int controller_task = -1;       // task id for MigAck
+  int joiner_task_base = 0;       // engine task id of the group's machine 0
+  bool collect_pairs = false;     // record (r_seq, s_seq) result ids
+  bool keep_rows = true;          // store row payloads when provided
+  uint64_t latency_every = 0;     // record latency for every k-th output (0=off)
+};
+
+class JoinerCore : public Task {
+ public:
+  explicit JoinerCore(JoinerConfig config);
+
+  void OnMessage(Envelope msg, Context& ctx) override;
+
+  const JoinerMetrics& metrics() const { return metrics_; }
+  JoinerMetrics& mutable_metrics() { return metrics_; }
+  uint64_t output_count() const { return output_count_; }
+  const std::vector<std::pair<uint64_t, uint64_t>>& pairs() const {
+    return pairs_;
+  }
+  uint32_t epoch() const { return epoch_; }
+  bool migrating() const { return migrating_; }
+  const GridLayout& layout() const { return layout_; }
+  uint64_t stored_count(Rel rel) const {
+    return entries_[static_cast<size_t>(rel)].size();
+  }
+  /// True once Eos arrived from every reshuffler and no migration is active.
+  bool finished() const {
+    return eos_seen_ >= config_.num_reshufflers && !migrating_;
+  }
+
+  /// Serializes the consolidated join state (both relations + epoch) for
+  /// checkpointing (paper section 4.3.3: the consumer side of the FTOpt
+  /// protocol fulfills its responsibility by checkpointing to stable
+  /// storage). Only valid between migrations.
+  Status SnapshotState(std::vector<uint8_t>* out) const;
+
+  /// Replaces local state with a snapshot; rebuilds indexes. Only valid on
+  /// an idle joiner (recovery happens before replay resumes).
+  Status RestoreState(const std::vector<uint8_t>& buf);
+
+ private:
+  static constexpr uint8_t kOriginData = 0;
+  static constexpr uint8_t kOriginMig = 1;
+
+  struct StoredEntry {
+    int64_t key = 0;
+    uint64_t tag = 0;
+    uint64_t seq = 0;
+    uint32_t bytes = 0;
+    uint32_t epoch = 0;
+    uint8_t origin = kOriginData;
+    bool has_row = false;
+    Row row;
+  };
+
+  // Probe scopes (see header comment).
+  enum class Scope {
+    kAll,        // steady state: every DATA entry
+    kOldData,    // tau ∪ Δ: origin DATA, epoch <= old epoch
+    kNewOwned,   // Keep(tau∪Δ) ∪ µ ∪ Δ': partition matches new coords
+    kDeltaPrime, // Δ': epoch == new epoch
+  };
+
+  void HandleData(Envelope& msg, Context& ctx);
+  void HandleMigrate(Envelope& msg, Context& ctx);
+  void HandleMigEnd(Envelope& msg, Context& ctx);
+  void HandleSignal(Envelope& msg, Context& ctx);
+  void HandleEos(Envelope& msg, Context& ctx);
+
+  void StartMigration(const EpochSpec& spec, Context& ctx);
+  void SendOldStateForMigration(Context& ctx);
+  void ForwardPerDirectives(const Envelope& msg, Context& ctx);
+  void MaybeFinalize(Context& ctx);
+  void FinalizeMigration(Context& ctx);
+
+  bool EntryInScope(const StoredEntry& entry, Rel entry_rel, Scope scope) const;
+  void Probe(const Envelope& msg, Scope scope, Context& ctx);
+  void Emit(const Envelope& msg, const StoredEntry& matched, Rel msg_rel,
+            Context& ctx);
+  void Store(const Envelope& msg, uint8_t origin, uint32_t epoch);
+  void SendMigrateTuple(const Envelope& src, uint32_t target_machine,
+                        Context& ctx);
+
+  bool participating() const {
+    return config_.machine_index < layout_.J();
+  }
+
+  JoinerConfig config_;
+  GridLayout layout_;
+  uint32_t epoch_ = 0;
+
+  // State: entries + index per relation (index ids are entry positions).
+  std::vector<StoredEntry> entries_[2];
+  JoinIndex index_[2];
+
+  // Migration state.
+  bool migrating_ = false;
+  uint32_t old_epoch_ = 0;
+  uint32_t new_epoch_ = 0;
+  uint32_t signals_seen_ = 0;
+  std::unique_ptr<MigrationPlan> plan_;
+  GridLayout to_layout_;
+  int64_t migend_pending_ = 0;   // expected MigEnd minus received (may dip <0
+                                 // transiently via early arrivals)
+  uint32_t early_migend_ = 0;    // MigEnds received before the plan existed
+
+  uint32_t eos_seen_ = 0;
+  uint64_t output_count_ = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> pairs_;
+  JoinerMetrics metrics_;
+};
+
+}  // namespace ajoin

@@ -1,0 +1,72 @@
+#include "src/core/mapping.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "src/common/bitutil.h"
+#include "src/common/status.h"
+
+namespace ajoin {
+
+std::string Mapping::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "(%u,%u)", n, m);
+  return buf;
+}
+
+double InputLoadFactor(const Mapping& map, double r_count, double s_count,
+                       double size_r, double size_s) {
+  return size_r * r_count / static_cast<double>(map.n) +
+         size_s * s_count / static_cast<double>(map.m);
+}
+
+Mapping OptimalMapping(uint32_t j, double r_count, double s_count,
+                       double size_r, double size_s) {
+  AJOIN_CHECK_MSG(IsPowerOfTwo(j), "J must be a power of two");
+  Mapping best{1, j};
+  double best_ilf = std::numeric_limits<double>::infinity();
+  for (uint32_t n = 1; n <= j; n *= 2) {
+    Mapping candidate{n, j / n};
+    double ilf = InputLoadFactor(candidate, r_count, s_count, size_r, size_s);
+    if (ilf < best_ilf) {
+      best_ilf = ilf;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+double OptimalIlf(uint32_t j, double r_count, double s_count, double size_r,
+                  double size_s) {
+  return InputLoadFactor(OptimalMapping(j, r_count, s_count, size_r, size_s),
+                         r_count, s_count, size_r, size_s);
+}
+
+Mapping HalveRows(const Mapping& map) {
+  AJOIN_CHECK_MSG(map.n >= 2, "cannot halve rows of n=1 mapping");
+  return Mapping{map.n / 2, map.m * 2};
+}
+
+Mapping HalveCols(const Mapping& map) {
+  AJOIN_CHECK_MSG(map.m >= 2, "cannot halve cols of m=1 mapping");
+  return Mapping{map.n * 2, map.m / 2};
+}
+
+double SemiPerimeter(const Mapping& map, double r_count, double s_count) {
+  return r_count / static_cast<double>(map.n) +
+         s_count / static_cast<double>(map.m);
+}
+
+double SemiPerimeterLowerBound(double r_count, double s_count, uint32_t j) {
+  return 2.0 * std::sqrt(r_count * s_count / static_cast<double>(j));
+}
+
+Mapping MidMapping(uint32_t j) {
+  AJOIN_CHECK_MSG(IsPowerOfTwo(j), "J must be a power of two");
+  int bits = Log2Exact(j);
+  uint32_t n = 1u << ((bits + 1) / 2);
+  return Mapping{n, j / n};
+}
+
+}  // namespace ajoin

@@ -1,0 +1,57 @@
+// (n,m)-mapping math: input-load factor, optimal mapping choice, and the
+// grid-layout bounds of Theorem 3.2. Pure functions, no dependencies — this
+// header is shared by the message layer and the operator logic.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ajoin {
+
+/// A grid mapping: the join matrix is split into n row-partitions of R and
+/// m column-partitions of S; J = n * m machines each own one (Ri, Sj) cell.
+struct Mapping {
+  uint32_t n = 1;
+  uint32_t m = 1;
+
+  uint32_t J() const { return n * m; }
+  bool operator==(const Mapping& o) const { return n == o.n && m == o.m; }
+  bool operator!=(const Mapping& o) const { return !(*this == o); }
+  std::string ToString() const;
+};
+
+/// Input-load factor of a mapping (paper section 3.3):
+///   ILF = size_r * |R| / n + size_s * |S| / m
+/// This is the per-joiner input/storage footprint, the only mapping-dependent
+/// cost, and the optimizer's objective.
+double InputLoadFactor(const Mapping& map, double r_count, double s_count,
+                       double size_r = 1.0, double size_s = 1.0);
+
+/// Optimal power-of-two mapping for J joiners (J must be a power of two):
+/// minimizes the ILF over all splits n * m = J.
+Mapping OptimalMapping(uint32_t j, double r_count, double s_count,
+                       double size_r = 1.0, double size_s = 1.0);
+
+/// ILF under the optimal mapping.
+double OptimalIlf(uint32_t j, double r_count, double s_count,
+                  double size_r = 1.0, double size_s = 1.0);
+
+/// One adaptivity step towards more columns: (n, m) -> (n/2, 2m).
+Mapping HalveRows(const Mapping& map);
+/// One adaptivity step towards more rows: (n, m) -> (2n, m/2).
+Mapping HalveCols(const Mapping& map);
+
+/// Region semi-perimeter |R|/n + |S|/m (tuple counts; equal tuple sizes).
+double SemiPerimeter(const Mapping& map, double r_count, double s_count);
+
+/// The optimal lower bound 2 * sqrt(|R||S| / J) on the semi-perimeter
+/// (Theorem 3.2), achieved by fractional square regions.
+double SemiPerimeterLowerBound(double r_count, double s_count, uint32_t j);
+
+/// The square-grid mapping (sqrt(J), sqrt(J)); J must be an even power of 2
+/// for an exact square, otherwise the closest (n, m) with n >= m is used.
+/// This is the paper's StaticMid configuration.
+Mapping MidMapping(uint32_t j);
+
+}  // namespace ajoin

@@ -1,0 +1,104 @@
+#include "src/core/migration.h"
+
+#include <algorithm>
+
+namespace ajoin {
+
+void MigrationPlan::AddDirective(uint32_t sender, SendDirective d) {
+  sends_[sender].push_back(d);
+  if (std::find(targets_[sender].begin(), targets_[sender].end(), d.target) ==
+      targets_[sender].end()) {
+    targets_[sender].push_back(d.target);
+  }
+  auto& senders = expected_senders_[d.target];
+  if (std::find(senders.begin(), senders.end(), sender) == senders.end()) {
+    senders.push_back(sender);
+  }
+}
+
+MigrationPlan::MigrationPlan(const GridLayout& from, const GridLayout& to,
+                             bool expansion)
+    : from_(from), to_(to), expansion_(expansion) {
+  const uint32_t total = std::max(from.J(), to.J());
+  sends_.resize(total);
+  targets_.resize(total);
+  expected_senders_.resize(total);
+
+  if (expansion) {
+    AJOIN_CHECK(to.J() == from.J() * 4);
+    const Mapping tm = to.mapping();
+    for (uint32_t p = 0; p < from.J(); ++p) {
+      Coords c = from.CoordsOf(p);
+      uint32_t c01 = to.MachineAt(2 * c.i, 2 * c.j + 1);
+      uint32_t c10 = to.MachineAt(2 * c.i + 1, 2 * c.j);
+      uint32_t c11 = to.MachineAt(2 * c.i + 1, 2 * c.j + 1);
+      // Paper Fig. 5: the parent keeps quadrant (2i, 2j); each child gets the
+      // halves of R and S its quadrant needs.
+      AddDirective(p, SendDirective{c01, Rel::kR, 2 * c.i});
+      AddDirective(p, SendDirective{c01, Rel::kS, 2 * c.j + 1});
+      AddDirective(p, SendDirective{c10, Rel::kR, 2 * c.i + 1});
+      AddDirective(p, SendDirective{c10, Rel::kS, 2 * c.j});
+      AddDirective(p, SendDirective{c11, Rel::kR, 2 * c.i + 1});
+      AddDirective(p, SendDirective{c11, Rel::kS, 2 * c.j + 1});
+    }
+    (void)tm;
+    return;
+  }
+
+  AJOIN_CHECK(to.J() == from.J());
+  const Mapping fm = from.mapping();
+  const Mapping tm = to.mapping();
+  if (tm == fm) return;
+
+  if (tm.n < fm.n) {
+    // Row merge: each machine needs the R rows that fold into its new row.
+    // Senders are its old-column peers (Fig. 3); S never moves.
+    int k = Log2Exact(fm.n) - Log2Exact(tm.n);
+    for (uint32_t q = 0; q < to.J(); ++q) {
+      Coords oldc = from.CoordsOf(q);
+      Coords newc = to.CoordsOf(q);
+      for (uint32_t b = 0; b < (1u << k); ++b) {
+        uint32_t old_row = (newc.i << k) | b;
+        if (old_row == oldc.i) continue;  // already local
+        uint32_t sender = from.MachineAt(old_row, oldc.j);
+        AddDirective(sender, SendDirective{q, Rel::kR, newc.i});
+      }
+    }
+  } else {
+    // Column merge: symmetric — S exchanged within old rows, R never moves.
+    int k = Log2Exact(fm.m) - Log2Exact(tm.m);
+    for (uint32_t q = 0; q < to.J(); ++q) {
+      Coords oldc = from.CoordsOf(q);
+      Coords newc = to.CoordsOf(q);
+      for (uint32_t b = 0; b < (1u << k); ++b) {
+        uint32_t old_col = (newc.j << k) | b;
+        if (old_col == oldc.j) continue;
+        uint32_t sender = from.MachineAt(oldc.i, old_col);
+        AddDirective(sender, SendDirective{q, Rel::kS, newc.j});
+      }
+    }
+  }
+}
+
+double MigrationPlan::ExpectedSendFraction(uint32_t p, Rel rel) const {
+  // Fraction of machine p's `rel` tuples sent out, counting multiplicity.
+  // A machine holds the tag interval of its old partition; a directive sends
+  // the overlap with the target partition's interval under the new mapping.
+  Coords oldc = from_.CoordsOf(p);
+  uint32_t from_parts = rel == Rel::kR ? from_.mapping().n : from_.mapping().m;
+  uint32_t to_parts = rel == Rel::kR ? to_.mapping().n : to_.mapping().m;
+  uint32_t my_part = rel == Rel::kR ? oldc.i : oldc.j;
+  double lo = static_cast<double>(my_part) / from_parts;
+  double hi = static_cast<double>(my_part + 1) / from_parts;
+  double frac = 0.0;
+  for (const SendDirective& d : sends_[p]) {
+    if (d.rel != rel) continue;
+    double dlo = static_cast<double>(d.part) / to_parts;
+    double dhi = static_cast<double>(d.part + 1) / to_parts;
+    double overlap = std::max(0.0, std::min(hi, dhi) - std::max(lo, dlo));
+    frac += overlap / (hi - lo);
+  }
+  return frac;
+}
+
+}  // namespace ajoin

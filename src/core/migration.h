@@ -1,0 +1,78 @@
+// Locality-aware migration plans (paper Lemma 4.4, Fig. 3, Fig. 5).
+//
+// A plan is a pure function of (from_layout, to_layout): every task derives
+// the same plan locally, so no plan distribution is needed. A plan tells
+// each machine which tuples to keep (partition match under the target
+// mapping), which tuples to copy where (send directives), and which peers
+// will send it state (expected senders — used for completion detection).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/partition.h"
+#include "src/localjoin/predicate.h"
+
+namespace ajoin {
+
+/// "Send every local tuple of `rel` whose partition under the target mapping
+/// equals `part` to machine `target`."
+struct SendDirective {
+  uint32_t target = 0;
+  Rel rel = Rel::kR;
+  uint32_t part = 0;
+};
+
+class MigrationPlan {
+ public:
+  /// Builds the plan for a same-J relabeling migration (row- or column-
+  /// merge) or an expansion (to = from.Expand(), 4x machines).
+  MigrationPlan(const GridLayout& from, const GridLayout& to, bool expansion);
+
+  const GridLayout& from() const { return from_; }
+  const GridLayout& to() const { return to_; }
+  bool expansion() const { return expansion_; }
+
+  /// Number of machine slots covered by the plan (max of old and new J).
+  uint32_t NumMachines() const { return static_cast<uint32_t>(sends_.size()); }
+
+  /// Send directives for machine p (old machines only; expansion children
+  /// have none).
+  const std::vector<SendDirective>& SendsOf(uint32_t p) const {
+    return sends_[p];
+  }
+
+  /// Distinct targets of machine p's directives (for MigEnd markers).
+  const std::vector<uint32_t>& TargetsOf(uint32_t p) const {
+    return targets_[p];
+  }
+
+  /// Machines that will send state to machine p.
+  const std::vector<uint32_t>& ExpectedSenders(uint32_t p) const {
+    return expected_senders_[p];
+  }
+
+  /// Whether a tuple of `rel` with `tag` stays on machine p under the target
+  /// mapping (the Keep set; the complement of Keep among old state is
+  /// Discard).
+  bool Keeps(uint32_t p, Rel rel, uint64_t tag) const {
+    return to_.Owns(p, rel, tag);
+  }
+
+  /// Total tuples a machine holding r_count R-tuples and s_count S-tuples
+  /// (uniformly tagged) is expected to send (for cost accounting tests).
+  double ExpectedSendFraction(uint32_t p, Rel rel) const;
+
+ private:
+  void AddDirective(uint32_t sender, SendDirective d);
+
+  GridLayout from_;
+  GridLayout to_;
+  bool expansion_;
+  std::vector<std::vector<SendDirective>> sends_;
+  std::vector<std::vector<uint32_t>> targets_;
+  std::vector<std::vector<uint32_t>> expected_senders_;
+};
+
+}  // namespace ajoin

@@ -1,0 +1,295 @@
+#include "src/core/operator.h"
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace ajoin {
+
+namespace {
+
+Envelope InputEnvelope(const StreamTuple& tuple, uint64_t seq,
+                       uint64_t ingest_us) {
+  Envelope env;
+  env.type = MsgType::kInput;
+  env.rel = tuple.rel;
+  env.key = tuple.key;
+  env.bytes = tuple.bytes;
+  env.seq = seq;
+  env.ingest_us = ingest_us;
+  if (tuple.has_row) {
+    env.has_row = true;
+    env.row = tuple.row;
+  }
+  return env;
+}
+
+}  // namespace
+
+JoinOperator::JoinOperator(Engine& engine, OperatorConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  std::vector<uint64_t> group_sizes = BinaryDecompose(config_.machines);
+  group_count_ = static_cast<uint32_t>(group_sizes.size());
+  AJOIN_CHECK_MSG(group_count_ == 1 || config_.barrier_migrations,
+                  "multi-group operators require barrier migrations");
+  AJOIN_CHECK_MSG(group_count_ == 1 || config_.max_expansions == 0,
+                  "elasticity requires a single power-of-two group");
+  num_reshufflers_ = config_.machines;
+
+  // Build per-group blocks. Joiner ids are assigned after reshufflers.
+  std::vector<GroupBlock> blocks;
+  std::vector<ControllerCore::GroupInfo> cinfos;
+  double cum = 0.0;
+  int next_base = static_cast<int>(num_reshufflers_);
+  for (uint64_t jg : group_sizes) {
+    GroupBlock block;
+    block.joiner_task_base = next_base;
+    block.alloc_machines =
+        static_cast<uint32_t>(jg) << (2 * config_.max_expansions);
+    Mapping init = (group_count_ == 1 && config_.use_initial)
+                       ? config_.initial
+                       : MidMapping(static_cast<uint32_t>(jg));
+    AJOIN_CHECK(init.J() == jg);
+    block.initial_layout = GridLayout::Initial(init);
+    cum += static_cast<double>(jg) / config_.machines;
+    block.cum_prob = cum;
+    blocks.push_back(block);
+    next_base += static_cast<int>(block.alloc_machines);
+
+    ControllerCore::GroupInfo info;
+    info.initial = init;
+    info.share = static_cast<double>(jg) / config_.machines;
+    cinfos.push_back(info);
+  }
+
+  ControllerConfig ctrl;
+  ctrl.adaptive = config_.adaptive;
+  ctrl.epsilon = config_.epsilon;
+  ctrl.min_total_before_adapt = config_.min_total_before_adapt;
+  ctrl.barrier_mode = config_.barrier_migrations;
+  ctrl.max_tuples_per_joiner = config_.max_tuples_per_joiner;
+  ctrl.max_expansions = config_.max_expansions;
+
+  for (uint32_t r = 0; r < num_reshufflers_; ++r) {
+    ReshufflerConfig rc;
+    rc.index = r;
+    rc.num_reshufflers = num_reshufflers_;
+    rc.groups = blocks;
+    rc.controller_task = 0;
+    rc.is_controller = (r == 0);
+    rc.controller = ctrl;
+    rc.controller_groups = cinfos;
+    rc.collect_stats = config_.collect_stats;
+    rc.stats_options = config_.stats_options;
+    int id = engine_.AddTask(std::make_unique<ReshufflerCore>(std::move(rc)));
+    AJOIN_CHECK(id == static_cast<int>(r));
+    reshuffler_ids_.push_back(id);
+  }
+  for (uint32_t g = 0; g < group_count_; ++g) {
+    const GroupBlock& block = blocks[g];
+    for (uint32_t p = 0; p < block.alloc_machines; ++p) {
+      JoinerConfig jc;
+      jc.spec = config_.spec;
+      jc.group = g;
+      jc.machine_index = p;
+      jc.initial_layout = block.initial_layout;
+      jc.num_reshufflers = num_reshufflers_;
+      jc.controller_task = 0;
+      jc.joiner_task_base = block.joiner_task_base;
+      jc.collect_pairs = config_.collect_pairs;
+      jc.keep_rows = config_.keep_rows;
+      jc.latency_every = config_.latency_every;
+      int id = engine_.AddTask(std::make_unique<JoinerCore>(std::move(jc)));
+      AJOIN_CHECK(id == block.joiner_task_base + static_cast<int>(p));
+      joiner_ids_.push_back(id);
+    }
+  }
+}
+
+void JoinOperator::Push(const StreamTuple& tuple) {
+  Envelope env = InputEnvelope(tuple, seq_++, engine_.NowMicros());
+  // Random-ish reshuffler choice (paper: incoming tuples are randomly routed
+  // to reshufflers); deterministic given the sequence number.
+  uint64_t r = SplitMix64(env.seq ^ 0xc2b2ae3d27d4eb4fULL) % num_reshufflers_;
+  engine_.Post(static_cast<int>(r), std::move(env));
+}
+
+void JoinOperator::Checkpoint() {
+  Envelope env;
+  env.type = MsgType::kCheckpoint;
+  engine_.Post(reshuffler_ids_[0], std::move(env));
+}
+
+void JoinOperator::SendEos() {
+  for (int id : reshuffler_ids_) {
+    Envelope env;
+    env.type = MsgType::kEos;
+    engine_.Post(id, std::move(env));
+  }
+}
+
+const JoinerCore& JoinOperator::joiner(size_t i) const {
+  return *static_cast<const JoinerCore*>(
+      const_cast<Engine&>(engine_).task(joiner_ids_[i]));
+}
+
+JoinerCore* JoinOperator::mutable_joiner(size_t i) {
+  return static_cast<JoinerCore*>(engine_.task(joiner_ids_[i]));
+}
+
+const ReshufflerCore& JoinOperator::reshuffler(size_t i) const {
+  return *static_cast<const ReshufflerCore*>(
+      const_cast<Engine&>(engine_).task(reshuffler_ids_[i]));
+}
+
+const ControllerCore* JoinOperator::controller() const {
+  return reshuffler(0).controller();
+}
+
+uint64_t JoinOperator::TotalOutputs() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < joiner_ids_.size(); ++i) {
+    total += joiner(i).output_count();
+  }
+  return total;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> JoinOperator::CollectPairs() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (size_t i = 0; i < joiner_ids_.size(); ++i) {
+    const auto& pairs = joiner(i).pairs();
+    out.insert(out.end(), pairs.begin(), pairs.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t JoinOperator::MaxInBytes() const {
+  uint64_t mx = 0;
+  for (size_t i = 0; i < joiner_ids_.size(); ++i) {
+    mx = std::max(mx, joiner(i).metrics().in_bytes);
+  }
+  return mx;
+}
+
+uint64_t JoinOperator::TotalStoredBytes() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < joiner_ids_.size(); ++i) {
+    total += joiner(i).metrics().stored_bytes;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// SHJ baseline
+// ---------------------------------------------------------------------------
+
+class ShjOperator::ShjRouter : public Task {
+ public:
+  ShjRouter(int joiner_base, uint32_t machines)
+      : joiner_base_(joiner_base), machines_(machines) {}
+
+  void OnMessage(Envelope msg, Context& ctx) override {
+    if (msg.type == MsgType::kEos) {
+      for (uint32_t p = 0; p < machines_; ++p) {
+        Envelope eos;
+        eos.type = MsgType::kEos;
+        ctx.Send(joiner_base_ + static_cast<int>(p), std::move(eos));
+      }
+      return;
+    }
+    AJOIN_CHECK(msg.type == MsgType::kInput);
+    // Content-sensitive partitioning: both relations hashed on the join key
+    // to a single machine. Skewed keys concentrate on few machines.
+    uint32_t target =
+        SplitMix64(static_cast<uint64_t>(msg.key)) % machines_;
+    msg.type = MsgType::kData;
+    msg.tag = TagForSeq(msg.seq, msg.rel);
+    msg.epoch = 0;
+    msg.group = 0;
+    msg.store = true;
+    ctx.Send(joiner_base_ + static_cast<int>(target), std::move(msg));
+  }
+
+ private:
+  int joiner_base_;
+  uint32_t machines_;
+};
+
+ShjOperator::ShjOperator(Engine& engine, OperatorConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  AJOIN_CHECK_MSG(config_.spec.kind == JoinSpec::Kind::kEqui,
+                  "SHJ supports equi-joins only");
+  router_id_ = engine_.AddTask(
+      std::make_unique<ShjRouter>(/*joiner_base=*/1, config_.machines));
+  AJOIN_CHECK_MSG(router_id_ == 0,
+                  "ShjOperator must be the first operator on its engine");
+  for (uint32_t p = 0; p < config_.machines; ++p) {
+    JoinerConfig jc;
+    jc.spec = config_.spec;
+    jc.group = 0;
+    jc.machine_index = p;
+    jc.initial_layout = GridLayout::Initial(Mapping{1, config_.machines});
+    jc.num_reshufflers = 1;  // the router
+    jc.controller_task = -1;
+    jc.joiner_task_base = 1;
+    jc.collect_pairs = config_.collect_pairs;
+    jc.keep_rows = config_.keep_rows;
+    jc.latency_every = config_.latency_every;
+    int id = engine_.AddTask(std::make_unique<JoinerCore>(std::move(jc)));
+    joiner_ids_.push_back(id);
+  }
+}
+
+void ShjOperator::Push(const StreamTuple& tuple) {
+  Envelope env = InputEnvelope(tuple, seq_++, engine_.NowMicros());
+  engine_.Post(router_id_, std::move(env));
+}
+
+void ShjOperator::SendEos() {
+  Envelope env;
+  env.type = MsgType::kEos;
+  engine_.Post(router_id_, std::move(env));
+}
+
+const JoinerCore& ShjOperator::joiner(size_t i) const {
+  return *static_cast<const JoinerCore*>(
+      const_cast<Engine&>(engine_).task(joiner_ids_[i]));
+}
+
+uint64_t ShjOperator::TotalOutputs() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < joiner_ids_.size(); ++i) {
+    total += joiner(i).output_count();
+  }
+  return total;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> ShjOperator::CollectPairs() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (size_t i = 0; i < joiner_ids_.size(); ++i) {
+    const auto& pairs = joiner(i).pairs();
+    out.insert(out.end(), pairs.begin(), pairs.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t ShjOperator::MaxInBytes() const {
+  uint64_t mx = 0;
+  for (size_t i = 0; i < joiner_ids_.size(); ++i) {
+    mx = std::max(mx, joiner(i).metrics().in_bytes);
+  }
+  return mx;
+}
+
+uint64_t ShjOperator::TotalStoredBytes() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < joiner_ids_.size(); ++i) {
+    total += joiner(i).metrics().stored_bytes;
+  }
+  return total;
+}
+
+}  // namespace ajoin

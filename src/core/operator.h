@@ -1,0 +1,137 @@
+// Operator assemblies: the adaptive Dynamic operator (plus its Static
+// configurations) and the content-sensitive parallel SHJ baseline, wired
+// onto an Engine (simulator or threads).
+//
+// Task id layout: reshufflers occupy ids [0, R); each group's joiners occupy
+// a contiguous block after that (sized for potential elastic expansion).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/bitutil.h"
+#include "src/core/controller.h"
+#include "src/core/joiner.h"
+#include "src/core/mapping.h"
+#include "src/core/reshuffler.h"
+#include "src/datagen/workloads.h"
+#include "src/localjoin/predicate.h"
+#include "src/runtime/task.h"
+
+namespace ajoin {
+
+struct OperatorConfig {
+  JoinSpec spec;
+  /// Total machines J. Non-powers-of-two are decomposed into binary groups
+  /// (section 4.2.2) and require barrier_migrations + a deterministic engine.
+  uint32_t machines = 16;
+  /// Initial mapping for a single (power-of-two) group; defaults to the
+  /// square StaticMid mapping. Multi-group operators use per-group squares.
+  Mapping initial;
+  bool use_initial = false;
+  /// false = static operator (StaticMid / StaticOpt depending on `initial`).
+  bool adaptive = true;
+  double epsilon = 1.0;
+  uint64_t min_total_before_adapt = 64;
+  /// Defer migration decisions to explicit Checkpoint() calls.
+  bool barrier_migrations = false;
+  /// Elasticity (Theorem 4.3): allocate room for this many 4x expansions.
+  uint32_t max_expansions = 0;
+  uint64_t max_tuples_per_joiner = 0;
+  /// Result collection for correctness tests.
+  bool collect_pairs = false;
+  bool keep_rows = true;
+  uint64_t latency_every = 0;
+  /// Extended per-reshuffler statistics (heavy hitters / histograms).
+  bool collect_stats = false;
+  StreamStats::Options stats_options;
+};
+
+/// The paper's dataflow theta-join operator (Dynamic / StaticMid /
+/// StaticOpt depending on configuration).
+class JoinOperator {
+ public:
+  JoinOperator(Engine& engine, OperatorConfig config);
+
+  /// Feeds one input tuple (stamps the global sequence number). The caller
+  /// drives engine quiescence (see RunWorkload).
+  void Push(const StreamTuple& tuple);
+
+  /// Posts a barrier-mode migration checkpoint to the controller.
+  void Checkpoint();
+
+  /// Signals end-of-stream to all reshufflers.
+  void SendEos();
+
+  uint32_t num_reshufflers() const { return num_reshufflers_; }
+  size_t num_joiner_slots() const { return joiner_ids_.size(); }
+  uint64_t pushed_total() const { return seq_; }
+
+  const JoinerCore& joiner(size_t i) const;
+  /// Mutable access for recovery (RestoreState); engine must be quiescent.
+  JoinerCore* mutable_joiner(size_t i);
+  const ReshufflerCore& reshuffler(size_t i) const;
+  /// The controller (hosted on reshuffler 0).
+  const ControllerCore* controller() const;
+
+  /// Sets the next input sequence number (recovery replay watermark).
+  void SetNextSeq(uint64_t seq) { seq_ = seq; }
+
+  /// Sum of joiner output counts. Engine must be quiescent.
+  uint64_t TotalOutputs() const;
+  /// All collected (r_seq, s_seq) pairs, sorted (collect_pairs mode).
+  std::vector<std::pair<uint64_t, uint64_t>> CollectPairs() const;
+  /// Max per-joiner received input bytes — the measured ILF.
+  uint64_t MaxInBytes() const;
+  /// Total bytes currently stored across the cluster.
+  uint64_t TotalStoredBytes() const;
+
+  const OperatorConfig& config() const { return config_; }
+  bool multi_group() const { return group_count_ > 1; }
+
+ private:
+  Engine& engine_;
+  OperatorConfig config_;
+  uint32_t num_reshufflers_ = 0;
+  uint32_t group_count_ = 0;
+  std::vector<int> reshuffler_ids_;
+  std::vector<int> joiner_ids_;  // all groups, block-contiguous
+  uint64_t seq_ = 0;
+  uint64_t next_reshuffler_ = 0;
+};
+
+/// Content-sensitive parallel symmetric hash join (the Shj baseline of
+/// section 5): hash-partitions both inputs on the join key — no replication,
+/// no adaptivity, equi-joins only, collapses under key skew.
+class ShjOperator {
+ public:
+  ShjOperator(Engine& engine, OperatorConfig config);
+
+  void Push(const StreamTuple& tuple);
+  void Checkpoint() {}  // no adaptivity
+  void SendEos();
+
+  const JoinerCore& joiner(size_t i) const;
+  size_t num_joiner_slots() const { return joiner_ids_.size(); }
+  uint64_t pushed_total() const { return seq_; }
+  const ControllerCore* controller() const { return nullptr; }
+
+  uint64_t TotalOutputs() const;
+  std::vector<std::pair<uint64_t, uint64_t>> CollectPairs() const;
+  uint64_t MaxInBytes() const;
+  uint64_t TotalStoredBytes() const;
+
+ private:
+  class ShjRouter;
+
+  Engine& engine_;
+  OperatorConfig config_;
+  int router_id_ = 0;
+  std::vector<int> joiner_ids_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace ajoin

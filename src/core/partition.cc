@@ -1,0 +1,86 @@
+#include "src/core/partition.h"
+
+namespace ajoin {
+
+GridLayout GridLayout::Initial(Mapping map) {
+  AJOIN_CHECK_MSG(IsPowerOfTwo(map.n) && IsPowerOfTwo(map.m),
+                  "grid dims must be powers of two");
+  GridLayout layout;
+  layout.map_ = map;
+  uint32_t j_total = map.J();
+  layout.coords_.resize(j_total);
+  layout.machine_.resize(j_total);
+  for (uint32_t p = 0; p < j_total; ++p) {
+    Coords c{p / map.m, p % map.m};
+    layout.coords_[p] = c;
+    layout.machine_[c.i * map.m + c.j] = p;
+  }
+  return layout;
+}
+
+GridLayout GridLayout::Relabel(Mapping to) const {
+  AJOIN_CHECK_MSG(to.J() == map_.J(), "relabel must preserve machine count");
+  AJOIN_CHECK_MSG(IsPowerOfTwo(to.n) && IsPowerOfTwo(to.m), "dims not pow2");
+  GridLayout out;
+  out.map_ = to;
+  out.coords_.resize(coords_.size());
+  out.machine_.resize(machine_.size());
+  if (to.n <= map_.n) {
+    // Row merge: n shrinks by 2^k, m grows. S state stays put, R exchanged.
+    int k = Log2Exact(map_.n) - Log2Exact(to.n);
+    uint32_t mask = (1u << k) - 1;
+    for (uint32_t p = 0; p < coords_.size(); ++p) {
+      Coords c = coords_[p];
+      Coords nc{c.i >> k, (c.j << k) | (c.i & mask)};
+      out.coords_[p] = nc;
+      out.machine_[nc.i * to.m + nc.j] = p;
+    }
+  } else {
+    // Column merge: m shrinks by 2^k. R state stays put, S exchanged.
+    int k = Log2Exact(map_.m) - Log2Exact(to.m);
+    uint32_t mask = (1u << k) - 1;
+    for (uint32_t p = 0; p < coords_.size(); ++p) {
+      Coords c = coords_[p];
+      Coords nc{(c.i << k) | (c.j & mask), c.j >> k};
+      out.coords_[p] = nc;
+      out.machine_[nc.i * to.m + nc.j] = p;
+    }
+  }
+  return out;
+}
+
+GridLayout GridLayout::Expand() const {
+  GridLayout out;
+  out.map_ = Mapping{map_.n * 2, map_.m * 2};
+  uint32_t old_j = J();
+  uint32_t new_j = old_j * 4;
+  out.coords_.resize(new_j);
+  out.machine_.resize(new_j);
+  for (uint32_t p = 0; p < old_j; ++p) {
+    Coords c = coords_[p];
+    Coords children[4] = {{2 * c.i, 2 * c.j},
+                          {2 * c.i, 2 * c.j + 1},
+                          {2 * c.i + 1, 2 * c.j},
+                          {2 * c.i + 1, 2 * c.j + 1}};
+    uint32_t ids[4] = {p, old_j + 3 * p, old_j + 3 * p + 1, old_j + 3 * p + 2};
+    for (int t = 0; t < 4; ++t) {
+      out.coords_[ids[t]] = children[t];
+      out.machine_[children[t].i * out.map_.m + children[t].j] = ids[t];
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> GridLayout::RowMachines(uint32_t i) const {
+  std::vector<uint32_t> out(map_.m);
+  for (uint32_t j = 0; j < map_.m; ++j) out[j] = MachineAt(i, j);
+  return out;
+}
+
+std::vector<uint32_t> GridLayout::ColMachines(uint32_t j) const {
+  std::vector<uint32_t> out(map_.n);
+  for (uint32_t i = 0; i < map_.n; ++i) out[i] = MachineAt(i, j);
+  return out;
+}
+
+}  // namespace ajoin

@@ -1,0 +1,65 @@
+#include "src/core/recovery.h"
+
+namespace ajoin {
+
+Status CheckpointOperator(const JoinOperator& op, OperatorCheckpoint* out) {
+  const ControllerCore* ctrl = op.controller();
+  if (ctrl == nullptr) {
+    return Status::FailedPrecondition("operator has no controller");
+  }
+  if (ctrl->AnyMigrating()) {
+    return Status::FailedPrecondition("checkpoint during migration");
+  }
+  if (op.multi_group()) {
+    return Status::NotSupported("checkpointing multi-group operators");
+  }
+  if (op.config().max_expansions != 0) {
+    return Status::NotSupported("checkpointing elastic operators");
+  }
+  out->mapping = ctrl->current_mapping(0);
+  out->machines = op.config().machines;
+  out->next_seq = op.pushed_total();
+  out->joiner_blobs.clear();
+  out->joiner_blobs.resize(op.num_joiner_slots());
+  out->joiner_coords.resize(op.num_joiner_slots());
+  for (size_t i = 0; i < op.num_joiner_slots(); ++i) {
+    const JoinerCore& joiner = op.joiner(i);
+    AJOIN_RETURN_NOT_OK(joiner.SnapshotState(&out->joiner_blobs[i]));
+    out->joiner_coords[i] =
+        joiner.layout().CoordsOf(static_cast<uint32_t>(i));
+  }
+  return Status::OK();
+}
+
+Status RestoreOperator(JoinOperator* op, const OperatorCheckpoint& ckpt) {
+  if (op->config().machines != ckpt.machines) {
+    return Status::InvalidArgument("machine count mismatch");
+  }
+  if (op->pushed_total() != 0) {
+    return Status::FailedPrecondition("restore into a used operator");
+  }
+  if (op->num_joiner_slots() < ckpt.joiner_blobs.size()) {
+    return Status::InvalidArgument("joiner slot mismatch");
+  }
+  // Place each blob on the machine holding the same grid coordinates in the
+  // fresh identity layout.
+  GridLayout fresh = GridLayout::Initial(ckpt.mapping);
+  for (size_t i = 0; i < ckpt.joiner_blobs.size(); ++i) {
+    Coords c = ckpt.joiner_coords[i];
+    uint32_t target = fresh.MachineAt(c.i, c.j);
+    AJOIN_RETURN_NOT_OK(
+        op->mutable_joiner(target)->RestoreState(ckpt.joiner_blobs[i]));
+  }
+  op->SetNextSeq(ckpt.next_seq);
+  return Status::OK();
+}
+
+OperatorConfig RecoveryConfig(OperatorConfig original,
+                              const OperatorCheckpoint& ckpt) {
+  original.machines = ckpt.machines;
+  original.initial = ckpt.mapping;
+  original.use_initial = true;
+  return original;
+}
+
+}  // namespace ajoin

@@ -1,0 +1,49 @@
+// Operator-level checkpointing and recovery (paper section 4.3.3).
+//
+// The paper extends the operator with FTOpt's producer/consumer protocol:
+// consumers checkpoint their state to stable storage and ack producers;
+// producers replay unacknowledged tuples after a failure. This module
+// implements those hooks for the in-process operator: a whole-operator
+// checkpoint (mapping + every joiner's consolidated state + the replay
+// watermark) and a restore path onto a freshly assembled operator, after
+// which the driver replays tuples from the watermark with their original
+// sequence numbers — partition tags are a pure function of the sequence, so
+// routing stays consistent and the output remains exactly-once.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/mapping.h"
+#include "src/core/operator.h"
+
+namespace ajoin {
+
+struct OperatorCheckpoint {
+  Mapping mapping;         // group-0 mapping at checkpoint time
+  uint32_t machines = 0;   // operator J
+  uint64_t next_seq = 0;   // replay watermark: first unprocessed sequence
+  std::vector<std::vector<uint8_t>> joiner_blobs;
+  /// Grid coordinates of each blob. The original operator's machine->coords
+  /// bijection evolves across migrations, so recovery places each blob on
+  /// the machine holding the same coordinates in the fresh (identity)
+  /// layout — state content is a pure function of coordinates.
+  std::vector<Coords> joiner_coords;
+};
+
+/// Captures a checkpoint. The engine must be quiescent and no migration in
+/// flight (checkpoints sit between migrations, as in FTOpt).
+Status CheckpointOperator(const JoinOperator& op, OperatorCheckpoint* out);
+
+/// Restores a checkpoint into a freshly assembled operator. The operator
+/// must have been built with `machines == ckpt.machines`, initial mapping
+/// `ckpt.mapping` (use_initial), and not yet have received any input.
+Status RestoreOperator(JoinOperator* op, const OperatorCheckpoint& ckpt);
+
+/// Convenience: operator configuration for the recovery assembly.
+OperatorConfig RecoveryConfig(OperatorConfig original,
+                              const OperatorCheckpoint& ckpt);
+
+}  // namespace ajoin

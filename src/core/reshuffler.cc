@@ -1,0 +1,147 @@
+#include "src/core/reshuffler.h"
+
+#include "src/common/status.h"
+
+namespace ajoin {
+
+ReshufflerCore::ReshufflerCore(ReshufflerConfig config)
+    : config_(std::move(config)) {
+  AJOIN_CHECK(!config_.groups.empty());
+  for (const GroupBlock& block : config_.groups) {
+    GroupRoute route;
+    route.block = block;
+    route.layout = block.initial_layout;
+    groups_.push_back(std::move(route));
+  }
+  if (config_.is_controller) {
+    controller_ = std::make_unique<ControllerCore>(
+        config_.controller, config_.num_reshufflers,
+        config_.controller_groups);
+  }
+  if (config_.collect_stats) {
+    StreamStats::Options options = config_.stats_options;
+    options.scale = config_.num_reshufflers;
+    stats_ = std::make_unique<StreamStats>(options);
+  }
+}
+
+void ReshufflerCore::OnMessage(Envelope msg, Context& ctx) {
+  switch (msg.type) {
+    case MsgType::kInput:
+      HandleInput(msg, ctx);
+      break;
+    case MsgType::kEpochChange:
+      HandleEpochChange(msg, ctx);
+      break;
+    case MsgType::kMigAck: {
+      AJOIN_CHECK_MSG(controller_ != nullptr, "ack at non-controller");
+      std::vector<EpochSpec> decisions;
+      controller_->OnAck(msg.espec.group, msg.espec.epoch, &decisions);
+      Broadcast(decisions, ctx);
+      break;
+    }
+    case MsgType::kCheckpoint: {
+      AJOIN_CHECK_MSG(controller_ != nullptr, "checkpoint at non-controller");
+      std::vector<EpochSpec> decisions;
+      controller_->OnCheckpoint(&decisions);
+      Broadcast(decisions, ctx);
+      break;
+    }
+    case MsgType::kEos: {
+      for (const GroupRoute& g : groups_) {
+        for (uint32_t p = 0; p < g.block.alloc_machines; ++p) {
+          Envelope eos;
+          eos.type = MsgType::kEos;
+          ctx.Send(g.block.joiner_task_base + static_cast<int>(p),
+                   std::move(eos));
+        }
+      }
+      break;
+    }
+    default:
+      AJOIN_CHECK_MSG(false, "reshuffler: unexpected message type");
+  }
+}
+
+uint32_t ReshufflerCore::StorageGroupOf(uint64_t tag) const {
+  if (groups_.size() == 1) return 0;
+  // Independent hash of the tag (the tag's top bits pick the partition, so
+  // re-mix to decorrelate).
+  double u = static_cast<double>(SplitMix64(tag ^ 0x7fb5d329728ea185ULL)) /
+             18446744073709551616.0;
+  for (uint32_t g = 0; g < groups_.size(); ++g) {
+    if (u < groups_[g].block.cum_prob) return g;
+  }
+  return static_cast<uint32_t>(groups_.size()) - 1;
+}
+
+void ReshufflerCore::HandleInput(Envelope& msg, Context& ctx) {
+  uint64_t tag = TagForSeq(msg.seq, msg.rel);
+  metrics_.routed_tuples++;
+  if (stats_ != nullptr) stats_->Observe(msg.rel, msg.key, msg.bytes);
+  // Controller duty first (Alg. 1 line 6), then route with the mapping the
+  // reshuffler currently knows — the epoch change loops back through this
+  // reshuffler's own channel, preserving signal-before-new-epoch ordering.
+  if (controller_ != nullptr) {
+    std::vector<EpochSpec> decisions;
+    controller_->OnTuple(msg.rel, msg.bytes, &decisions);
+    Broadcast(decisions, ctx);
+  }
+  uint32_t storage_group = StorageGroupOf(tag);
+  for (uint32_t g = 0; g < groups_.size(); ++g) {
+    RouteToGroup(msg, tag, g, /*store=*/g == storage_group, ctx);
+  }
+}
+
+void ReshufflerCore::RouteToGroup(const Envelope& msg, uint64_t tag,
+                                  uint32_t group, bool store, Context& ctx) {
+  GroupRoute& g = groups_[group];
+  std::vector<uint32_t> targets = g.layout.TargetsFor(msg.rel, tag);
+  for (uint32_t machine : targets) {
+    Envelope data = msg;
+    data.type = MsgType::kData;
+    data.tag = tag;
+    data.epoch = g.epoch;
+    data.group = group;
+    data.store = store;
+    metrics_.sent_msgs++;
+    metrics_.sent_bytes += data.bytes;
+    ctx.Send(g.block.joiner_task_base + static_cast<int>(machine),
+             std::move(data));
+  }
+}
+
+void ReshufflerCore::Broadcast(const std::vector<EpochSpec>& specs,
+                               Context& ctx) {
+  for (const EpochSpec& spec : specs) {
+    for (uint32_t r = 0; r < config_.num_reshufflers; ++r) {
+      Envelope change;
+      change.type = MsgType::kEpochChange;
+      change.espec = spec;
+      ctx.Send(static_cast<int>(r), std::move(change));
+    }
+  }
+}
+
+void ReshufflerCore::HandleEpochChange(Envelope& msg, Context& ctx) {
+  const EpochSpec& spec = msg.espec;
+  GroupRoute& g = groups_[spec.group];
+  AJOIN_CHECK_MSG(spec.epoch == g.epoch + 1, "epoch change out of order");
+  g.layout = spec.expansion ? g.layout.Expand() : g.layout.Relabel(spec.mapping);
+  AJOIN_CHECK(g.layout.mapping() == spec.mapping);
+  AJOIN_CHECK_MSG(g.layout.J() <= g.block.alloc_machines,
+                  "expansion beyond allocated machine block");
+  g.epoch = spec.epoch;
+  metrics_.epoch_changes++;
+  // Signal every allocated machine of the group (including not-yet-active
+  // expansion slots, which track the layout) before any new-epoch tuple.
+  for (uint32_t p = 0; p < g.block.alloc_machines; ++p) {
+    Envelope signal;
+    signal.type = MsgType::kReshufSignal;
+    signal.espec = spec;
+    ctx.Send(g.block.joiner_task_base + static_cast<int>(p),
+             std::move(signal));
+  }
+}
+
+}  // namespace ajoin

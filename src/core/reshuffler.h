@@ -1,0 +1,89 @@
+// ReshufflerCore: the routing task (paper section 3.2).
+//
+// Each machine runs one reshuffler. On an input tuple the reshuffler assigns
+// a uniform partition tag, picks the storage group (probability proportional
+// to group size, section 4.2.2), and replicates the tuple to the m (or n)
+// joiners of its row (column) in every group — store-and-join in the storage
+// group, probe-only elsewhere. Reshuffler 0 additionally carries the
+// controller duty; on an epoch change every reshuffler signals all joiners
+// of the group *before* routing any tuple under the new mapping, which is the
+// ordering invariant Algorithm 3 relies on.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/core/partition.h"
+#include "src/core/stats.h"
+#include "src/net/message.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/task.h"
+
+namespace ajoin {
+
+struct GroupBlock {
+  int joiner_task_base = 0;     // engine task id of the group's machine 0
+  uint32_t alloc_machines = 0;  // allocated block size (>= J_g, for expansion)
+  GridLayout initial_layout;
+  /// Cumulative storage-probability boundary in [0,1]; a tuple with
+  /// normalized hash u stores in the first group with u < cum_prob.
+  double cum_prob = 1.0;
+};
+
+struct ReshufflerConfig {
+  uint32_t index = 0;  // 0 = controller
+  uint32_t num_reshufflers = 1;
+  std::vector<GroupBlock> groups;
+  int controller_task = 0;  // task id of reshuffler 0
+  /// Set on reshuffler 0 only.
+  bool is_controller = false;
+  ControllerConfig controller;
+  std::vector<ControllerCore::GroupInfo> controller_groups;
+  /// Optional extended statistics (section 4.1: heavy-hitter sketches and
+  /// key histograms on the reshuffler's 1/J sample, scaled to global
+  /// estimates).
+  bool collect_stats = false;
+  StreamStats::Options stats_options;
+};
+
+class ReshufflerCore : public Task {
+ public:
+  explicit ReshufflerCore(ReshufflerConfig config);
+
+  void OnMessage(Envelope msg, Context& ctx) override;
+
+  const ReshufflerMetrics& metrics() const { return metrics_; }
+  /// Controller introspection (reshuffler 0 only).
+  const ControllerCore* controller() const { return controller_.get(); }
+  /// Extended statistics (null unless collect_stats).
+  const StreamStats* stats() const { return stats_.get(); }
+  const GridLayout& layout(uint32_t group) const {
+    return groups_[group].layout;
+  }
+  uint32_t epoch(uint32_t group) const { return groups_[group].epoch; }
+
+ private:
+  struct GroupRoute {
+    GroupBlock block;
+    GridLayout layout;
+    uint32_t epoch = 0;
+  };
+
+  void HandleInput(Envelope& msg, Context& ctx);
+  void HandleEpochChange(Envelope& msg, Context& ctx);
+  void Broadcast(const std::vector<EpochSpec>& specs, Context& ctx);
+  void RouteToGroup(const Envelope& msg, uint64_t tag, uint32_t group,
+                    bool store, Context& ctx);
+  uint32_t StorageGroupOf(uint64_t tag) const;
+
+  ReshufflerConfig config_;
+  std::vector<GroupRoute> groups_;
+  std::unique_ptr<ControllerCore> controller_;
+  std::unique_ptr<StreamStats> stats_;
+  ReshufflerMetrics metrics_;
+};
+
+}  // namespace ajoin

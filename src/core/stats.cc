@@ -1,0 +1,111 @@
+#include "src/core/stats.h"
+
+#include "src/common/status.h"
+
+namespace ajoin {
+
+SpaceSavingSketch::SpaceSavingSketch(size_t capacity) : capacity_(capacity) {
+  AJOIN_CHECK(capacity_ > 0);
+}
+
+void SpaceSavingSketch::Offer(int64_t key, uint64_t weight) {
+  total_ += weight;
+  auto it = counts_.find(key);
+  if (it != counts_.end()) {
+    it->second.first += weight;
+    return;
+  }
+  if (counts_.size() < capacity_) {
+    counts_.emplace(key, std::make_pair(weight, 0));
+    return;
+  }
+  // Replace the minimum-count entry; the evicted count becomes the error
+  // bound of the new entry.
+  auto min_it = counts_.begin();
+  for (auto i = counts_.begin(); i != counts_.end(); ++i) {
+    if (i->second.first < min_it->second.first) min_it = i;
+  }
+  uint64_t min_count = min_it->second.first;
+  counts_.erase(min_it);
+  counts_.emplace(key, std::make_pair(min_count + weight, min_count));
+}
+
+uint64_t SpaceSavingSketch::Estimate(int64_t key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second.first;
+}
+
+std::vector<std::pair<int64_t, uint64_t>> SpaceSavingSketch::HeavyHitters(
+    uint64_t threshold) const {
+  std::vector<std::pair<int64_t, uint64_t>> out;
+  for (const auto& [key, cv] : counts_) {
+    if (cv.first >= threshold) out.emplace_back(key, cv.first);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return out;
+}
+
+uint64_t SpaceSavingSketch::MaxError() const {
+  if (counts_.size() < capacity_) return 0;
+  uint64_t mn = ~0ull;
+  for (const auto& [key, cv] : counts_) mn = std::min(mn, cv.first);
+  return mn;
+}
+
+KeyHistogram::KeyHistogram(int64_t lo, int64_t hi, size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets, 0) {
+  AJOIN_CHECK(hi > lo && buckets > 0);
+  width_ = static_cast<double>(hi - lo) / static_cast<double>(buckets);
+}
+
+void KeyHistogram::Add(int64_t key, uint64_t weight) {
+  total_ += weight;
+  if (key < lo_) {
+    below_ += weight;
+    return;
+  }
+  if (key >= hi_) {
+    above_ += weight;
+    return;
+  }
+  auto b = static_cast<size_t>(static_cast<double>(key - lo_) / width_);
+  buckets_[std::min(b, buckets_.size() - 1)] += weight;
+}
+
+double KeyHistogram::FractionInRange(int64_t lo, int64_t hi) const {
+  if (total_ == 0 || lo > hi) return 0.0;
+  double acc = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    double b_lo = static_cast<double>(lo_) + width_ * static_cast<double>(b);
+    double b_hi = b_lo + width_;
+    double overlap = std::min(b_hi, static_cast<double>(hi) + 1.0) -
+                     std::max(b_lo, static_cast<double>(lo));
+    if (overlap <= 0) continue;
+    acc += static_cast<double>(buckets_[b]) * std::min(1.0, overlap / width_);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+StreamStats::StreamStats(const Options& options)
+    : options_(options),
+      sketch_{SpaceSavingSketch(options.sketch_capacity),
+              SpaceSavingSketch(options.sketch_capacity)} {
+  if (options_.histograms) {
+    histograms_.emplace_back(options_.key_lo, options_.key_hi,
+                             options_.histogram_buckets);
+    histograms_.emplace_back(options_.key_lo, options_.key_hi,
+                             options_.histogram_buckets);
+  }
+}
+
+void StreamStats::Observe(Rel rel, int64_t key, uint32_t bytes) {
+  auto i = static_cast<size_t>(rel);
+  tuples_[i] += 1;
+  bytes_[i] += bytes;
+  sketch_[i].Offer(key);
+  if (!histograms_.empty()) histograms_[i].Add(key);
+}
+
+}  // namespace ajoin

@@ -1,0 +1,117 @@
+// Decentralized stream statistics (paper section 4.1).
+//
+// Every reshuffler sees a uniform random 1/J sample of the input, so local
+// counts scaled by J estimate global statistics without any communication.
+// Beyond the cardinalities Algorithm 1 needs, the paper notes the model
+// "can be easily extended to monitor other data statistics, e.g., frequency
+// histograms" — this module provides those extensions: a SpaceSaving
+// heavy-hitter sketch and an equi-width key histogram, both per relation.
+// A future content-sensitive theta operator (the paper's section 6) would
+// consume exactly these to prune empty join-matrix regions.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/localjoin/predicate.h"
+
+namespace ajoin {
+
+/// SpaceSaving heavy-hitter sketch (Metwally et al.): tracks up to
+/// `capacity` keys; frequency estimates overcount by at most N/capacity.
+class SpaceSavingSketch {
+ public:
+  explicit SpaceSavingSketch(size_t capacity = 64);
+
+  void Offer(int64_t key, uint64_t weight = 1);
+
+  /// Upper-bound frequency estimate for a key (0 if never tracked).
+  uint64_t Estimate(int64_t key) const;
+
+  /// Keys whose estimated frequency is at least `threshold`, heaviest first.
+  std::vector<std::pair<int64_t, uint64_t>> HeavyHitters(
+      uint64_t threshold) const;
+
+  uint64_t total() const { return total_; }
+  size_t tracked() const { return counts_.size(); }
+
+  /// Maximum overcount of any estimate (the minimum tracked count once the
+  /// sketch is full, else 0).
+  uint64_t MaxError() const;
+
+ private:
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::unordered_map<int64_t, std::pair<uint64_t, uint64_t>>
+      counts_;  // key -> (count, error)
+};
+
+/// Equi-width histogram over a fixed key range with out-of-range overflow
+/// buckets.
+class KeyHistogram {
+ public:
+  KeyHistogram(int64_t lo, int64_t hi, size_t buckets);
+
+  void Add(int64_t key, uint64_t weight = 1);
+  uint64_t BucketCount(size_t bucket) const { return buckets_[bucket]; }
+  size_t num_buckets() const { return buckets_.size(); }
+  uint64_t below() const { return below_; }
+  uint64_t above() const { return above_; }
+  uint64_t total() const { return total_; }
+
+  /// Estimated fraction of keys in [lo, hi] (linear interpolation within
+  /// buckets).
+  double FractionInRange(int64_t lo, int64_t hi) const;
+
+ private:
+  int64_t lo_, hi_;
+  double width_;
+  std::vector<uint64_t> buckets_;
+  uint64_t below_ = 0, above_ = 0, total_ = 0;
+};
+
+/// Per-reshuffler statistics bundle: scaled cardinalities (Alg. 1) plus the
+/// optional sketches. scale = number of reshufflers J.
+class StreamStats {
+ public:
+  struct Options {
+    uint32_t scale = 1;
+    size_t sketch_capacity = 64;
+    bool histograms = false;
+    int64_t key_lo = 0;
+    int64_t key_hi = 1 << 20;
+    size_t histogram_buckets = 64;
+  };
+
+  explicit StreamStats(const Options& options);
+
+  void Observe(Rel rel, int64_t key, uint32_t bytes);
+
+  /// Scaled global estimates.
+  uint64_t EstimatedTuples(Rel rel) const {
+    return tuples_[static_cast<size_t>(rel)] * options_.scale;
+  }
+  uint64_t EstimatedBytes(Rel rel) const {
+    return bytes_[static_cast<size_t>(rel)] * options_.scale;
+  }
+
+  const SpaceSavingSketch& sketch(Rel rel) const {
+    return sketch_[static_cast<size_t>(rel)];
+  }
+  const KeyHistogram* histogram(Rel rel) const {
+    return histograms_.empty() ? nullptr
+                               : &histograms_[static_cast<size_t>(rel)];
+  }
+
+ private:
+  Options options_;
+  uint64_t tuples_[2] = {0, 0};
+  uint64_t bytes_[2] = {0, 0};
+  SpaceSavingSketch sketch_[2];
+  std::vector<KeyHistogram> histograms_;
+};
+
+}  // namespace ajoin

@@ -1,0 +1,106 @@
+#include "src/datagen/tpch.h"
+
+namespace ajoin {
+
+Schema LineitemSchema() {
+  return Schema({{"l_orderkey", ValueType::kInt64},
+                 {"l_suppkey", ValueType::kInt64},
+                 {"l_quantity", ValueType::kInt64},
+                 {"l_shipdate", ValueType::kInt64},
+                 {"l_shipmode", ValueType::kInt64},
+                 {"l_shipinstruct", ValueType::kInt64},
+                 {"l_extendedprice", ValueType::kDouble}});
+}
+
+Schema OrdersSchema() {
+  return Schema({{"o_orderkey", ValueType::kInt64},
+                 {"o_custkey", ValueType::kInt64},
+                 {"o_shippriority", ValueType::kInt64},
+                 {"o_orderdate", ValueType::kInt64}});
+}
+
+Schema SupplierSchema() {
+  return Schema({{"s_suppkey", ValueType::kInt64},
+                 {"s_nationkey", ValueType::kInt64},
+                 {"s_acctbal", ValueType::kDouble}});
+}
+
+Schema NationSchema() {
+  return Schema({{"n_nationkey", ValueType::kInt64},
+                 {"n_regionkey", ValueType::kInt64}});
+}
+
+TpchGen::TpchGen(const TpchConfig& config)
+    : config_(config),
+      order_fk_(config.NumOrders(), config.zipf_z),
+      supp_fk_(config.NumSuppliers(), config.zipf_z) {}
+
+LineitemLite TpchGen::LineitemFast(uint64_t i) {
+  // Per-row deterministic RNG so access order does not matter. Draw order
+  // must match Lineitem(i).
+  Rng rng(SplitMix64(config_.seed * 0x9e3779b97f4a7c15ULL + i * 2 + 1));
+  LineitemLite out;
+  out.orderkey = static_cast<int64_t>(order_fk_.Sample(rng));
+  out.suppkey = static_cast<int64_t>(supp_fk_.Sample(rng));
+  out.quantity = rng.UniformInt(1, 50);
+  out.shipdate = rng.UniformInt(0, kShipDateDays - 1);
+  out.shipmode = rng.UniformInt(0, kNumShipModes - 1);
+  out.shipinstruct = rng.UniformInt(0, kNumShipInstructs - 1);
+  return out;
+}
+
+Row TpchGen::Lineitem(uint64_t i) {
+  Rng rng(SplitMix64(config_.seed * 0x9e3779b97f4a7c15ULL + i * 2 + 1));
+  Row row;
+  row.Append(Value(static_cast<int64_t>(order_fk_.Sample(rng))));
+  row.Append(Value(static_cast<int64_t>(supp_fk_.Sample(rng))));
+  row.Append(Value(rng.UniformInt(1, 50)));                    // quantity
+  row.Append(Value(rng.UniformInt(0, kShipDateDays - 1)));     // shipdate
+  row.Append(Value(rng.UniformInt(0, kNumShipModes - 1)));     // shipmode
+  row.Append(Value(rng.UniformInt(0, kNumShipInstructs - 1))); // shipinstruct
+  row.Append(Value(static_cast<double>(rng.UniformInt(100, 100000)) / 100.0));
+  return row;
+}
+
+OrdersLite TpchGen::OrdersFast(uint64_t i) {
+  Rng rng(SplitMix64(config_.seed * 0xbf58476d1ce4e5b9ULL + i * 2));
+  OrdersLite out;
+  out.orderkey = static_cast<int64_t>(i + 1);
+  rng.UniformInt(1, static_cast<int64_t>(config_.NumOrders() / 10 + 1));
+  out.shippriority = rng.UniformInt(0, kNumShipPriorities - 1);
+  return out;
+}
+
+Row TpchGen::Orders(uint64_t i) {
+  Rng rng(SplitMix64(config_.seed * 0xbf58476d1ce4e5b9ULL + i * 2));
+  Row row;
+  row.Append(Value(static_cast<int64_t>(i + 1)));  // dense orderkey
+  row.Append(Value(rng.UniformInt(1, static_cast<int64_t>(
+                                         config_.NumOrders() / 10 + 1))));
+  row.Append(Value(rng.UniformInt(0, kNumShipPriorities - 1)));
+  row.Append(Value(rng.UniformInt(0, kShipDateDays - 1)));
+  return row;
+}
+
+int64_t TpchGen::SupplierNation(uint64_t i) const {
+  Rng rng(SplitMix64(config_.seed * 0x94d049bb133111ebULL + i * 2));
+  return rng.UniformInt(0, kNumNations - 1);
+}
+
+Row TpchGen::Supplier(uint64_t i) {
+  Rng rng(SplitMix64(config_.seed * 0x94d049bb133111ebULL + i * 2));
+  Row row;
+  row.Append(Value(static_cast<int64_t>(i + 1)));  // dense suppkey
+  row.Append(Value(rng.UniformInt(0, kNumNations - 1)));
+  row.Append(Value(static_cast<double>(rng.UniformInt(-99999, 999999)) / 100.0));
+  return row;
+}
+
+Row TpchGen::Nation(uint64_t i) const {
+  Row row;
+  row.Append(Value(static_cast<int64_t>(i)));
+  row.Append(Value(static_cast<int64_t>(i % kNumRegions)));
+  return row;
+}
+
+}  // namespace ajoin

@@ -1,0 +1,135 @@
+// The paper's evaluation workloads (Table 1 + section 5.4):
+//   EQ5   (Region |X| Nation |X| Supplier) |X| Lineitem   equi on suppkey
+//   EQ7   (Supplier |X| Nation) |X| Lineitem              equi on suppkey
+//   BCI   Lineitem |X| Lineitem, |shipdate diff| <= 1     band, high output
+//   BNCI  Lineitem |X| Lineitem, |orderkey diff| <= 1     band, low output
+//   Fluct Orders |X| Lineitem on orderkey                 equi, fluctuation
+//
+// Selections on the inputs (shipmode, quantity, ...) are applied while
+// generating the streams — as in the paper, where intermediate results are
+// materialized before online processing. Each workload exposes two streams
+// in "slim" form (join key + byte size, for large-scale runs) or fully
+// materialized rows (tests/examples).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/datagen/tpch.h"
+#include "src/localjoin/predicate.h"
+#include "src/tuple/row.h"
+
+namespace ajoin {
+
+enum class QueryId { kEQ5, kEQ7, kBCI, kBNCI, kFluct };
+
+const char* QueryName(QueryId id);
+
+/// One input tuple as the operator sees it.
+struct StreamTuple {
+  Rel rel = Rel::kR;
+  int64_t key = 0;      // join key (equi/band kinds)
+  uint32_t bytes = 0;   // serialized size, for ILF accounting
+  bool has_row = false; // row populated (materialized mode)
+  Row row;
+};
+
+/// How the two streams interleave at the operator input.
+struct ArrivalPolicy {
+  enum class Kind {
+    kProportional,  // random interleave weighted by remaining counts
+    kRFirst,        // entire R stream, then entire S stream
+    kFluctuating,   // paper section 5.4: ratio alternates between k and 1/k
+  };
+  Kind kind = Kind::kProportional;
+  double fluct_k = 2.0;
+  uint64_t seed = 7;
+};
+
+class WorkloadSource;
+
+/// A fully specified two-stream join workload.
+class Workload {
+ public:
+  /// Builds the workload; runs one cheap pre-pass to count filtered tuples.
+  Workload(QueryId id, const TpchConfig& config, bool materialize_rows = false);
+
+  /// A synthetic equi-join workload with explicit cardinalities — used by
+  /// benches that sweep the R:S ratio (Fig. 7c/d). S keys are drawn
+  /// Zipf(zipf_z) over [1, key_domain]; R keys uniformly.
+  static Workload Synthetic(uint64_t r_count, uint64_t s_count,
+                            uint32_t r_bytes, uint32_t s_bytes,
+                            uint64_t key_domain, double zipf_z, uint64_t seed);
+
+  QueryId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const JoinSpec& spec() const { return spec_; }
+
+  uint64_t r_count() const { return r_.filtered_count; }
+  uint64_t s_count() const { return s_.filtered_count; }
+  uint64_t total_count() const { return r_count() + s_count(); }
+  uint32_t r_tuple_bytes() const { return r_.tuple_bytes; }
+  uint32_t s_tuple_bytes() const { return s_.tuple_bytes; }
+
+  /// Fresh deterministic source over the full workload.
+  std::unique_ptr<WorkloadSource> MakeSource(const ArrivalPolicy& policy) const;
+
+  const TpchConfig& config() const { return config_; }
+
+ private:
+  friend class WorkloadSource;
+
+  Workload() = default;
+
+  struct SideDef {
+    uint64_t base_count = 0;      // rows of the base relation to scan
+    uint64_t filtered_count = 0;  // rows passing the selection
+    uint32_t tuple_bytes = 0;
+    // Evaluates base row i; returns whether it qualifies, and fills *key
+    // (always) and *row (when want_row).
+    std::function<bool(uint64_t i, int64_t* key, Row* row, bool want_row)> gen;
+  };
+
+  void Build();
+  static uint64_t CountFiltered(const SideDef& side);
+
+  QueryId id_;
+  TpchConfig config_;
+  bool materialize_rows_;
+  std::string name_;
+  JoinSpec spec_;
+  std::shared_ptr<TpchGen> gen_;
+  SideDef r_;
+  SideDef s_;
+};
+
+/// Sequential cursor over a workload's interleaved arrivals.
+class WorkloadSource {
+ public:
+  WorkloadSource(const Workload* workload, ArrivalPolicy policy);
+
+  /// Produces the next arrival; false when both streams are exhausted.
+  bool Next(StreamTuple* out);
+
+  uint64_t emitted_r() const { return emitted_[0]; }
+  uint64_t emitted_s() const { return emitted_[1]; }
+  uint64_t emitted_total() const { return emitted_[0] + emitted_[1]; }
+
+ private:
+  bool SideExhausted(Rel rel) const;
+  bool NextFromSide(Rel rel, StreamTuple* out);
+  Rel PickSide();
+
+  const Workload* w_;
+  ArrivalPolicy policy_;
+  Rng rng_;
+  uint64_t cursor_[2] = {0, 0};   // base-relation scan positions
+  uint64_t emitted_[2] = {0, 0};
+  Rel fluct_phase_ = Rel::kR;
+};
+
+}  // namespace ajoin

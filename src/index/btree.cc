@@ -1,0 +1,295 @@
+#include "src/index/btree.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ajoin {
+
+BPlusTree::BPlusTree() : root_(nullptr), size_(0), bytes_(0) {}
+
+BPlusTree::~BPlusTree() { Clear(); }
+
+BPlusTree::BPlusTree(BPlusTree&& other) noexcept
+    : root_(other.root_), size_(other.size_), bytes_(other.bytes_) {
+  other.root_ = nullptr;
+  other.size_ = 0;
+  other.bytes_ = 0;
+}
+
+BPlusTree& BPlusTree::operator=(BPlusTree&& other) noexcept {
+  if (this == &other) return *this;
+  Clear();
+  root_ = std::exchange(other.root_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  bytes_ = std::exchange(other.bytes_, 0);
+  return *this;
+}
+
+void BPlusTree::FreeRec(Node* node) {
+  if (node == nullptr) return;
+  if (!node->is_leaf) {
+    Inner* in = static_cast<Inner*>(node);
+    for (int i = 0; i <= in->count; ++i) FreeRec(in->children[i]);
+    delete in;
+  } else {
+    delete static_cast<Leaf*>(node);
+  }
+}
+
+void BPlusTree::Clear() {
+  FreeRec(root_);
+  root_ = nullptr;
+  size_ = 0;
+  bytes_ = 0;
+}
+
+const BPlusTree::Leaf* BPlusTree::FindLeaf(int64_t key, uint64_t row_id) const {
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    const Inner* in = static_cast<const Inner*>(node);
+    int i = 0;
+    while (i < in->count &&
+           !CompositeLess(key, row_id, in->sep_keys[i], in->sep_rids[i])) {
+      ++i;
+    }
+    node = in->children[i];
+  }
+  return static_cast<const Leaf*>(node);
+}
+
+BPlusTree::SplitResult BPlusTree::InsertRec(Node* node, int64_t key,
+                                            uint64_t row_id) {
+  if (node->is_leaf) {
+    Leaf* leaf = static_cast<Leaf*>(node);
+    int pos = 0;
+    while (pos < leaf->count &&
+           CompositeLess(leaf->keys[pos], leaf->vals[pos], key, row_id)) {
+      ++pos;
+    }
+    if (leaf->count < kLeafCap) {
+      for (int i = leaf->count; i > pos; --i) {
+        leaf->keys[i] = leaf->keys[i - 1];
+        leaf->vals[i] = leaf->vals[i - 1];
+      }
+      leaf->keys[pos] = key;
+      leaf->vals[pos] = row_id;
+      leaf->count++;
+      return {};
+    }
+    // Full: merge into a temp array, split half/half.
+    int64_t tk[kLeafCap + 1];
+    uint64_t tv[kLeafCap + 1];
+    for (int i = 0, o = 0; i <= kLeafCap; ++i) {
+      if (i == pos) {
+        tk[i] = key;
+        tv[i] = row_id;
+      } else {
+        tk[i] = leaf->keys[o];
+        tv[i] = leaf->vals[o];
+        ++o;
+      }
+    }
+    Leaf* right = new Leaf();
+    bytes_ += sizeof(Leaf);
+    int total = kLeafCap + 1;
+    int left_n = total / 2;
+    leaf->count = left_n;
+    for (int i = 0; i < left_n; ++i) {
+      leaf->keys[i] = tk[i];
+      leaf->vals[i] = tv[i];
+    }
+    right->count = total - left_n;
+    for (int i = 0; i < right->count; ++i) {
+      right->keys[i] = tk[left_n + i];
+      right->vals[i] = tv[left_n + i];
+    }
+    right->next = leaf->next;
+    leaf->next = right;
+    return SplitResult{right, right->keys[0], right->vals[0]};
+  }
+
+  Inner* in = static_cast<Inner*>(node);
+  int idx = 0;
+  while (idx < in->count &&
+         !CompositeLess(key, row_id, in->sep_keys[idx], in->sep_rids[idx])) {
+    ++idx;
+  }
+  SplitResult child_split = InsertRec(in->children[idx], key, row_id);
+  if (child_split.right == nullptr) return {};
+
+  if (in->count < kInnerCap) {
+    for (int i = in->count; i > idx; --i) {
+      in->sep_keys[i] = in->sep_keys[i - 1];
+      in->sep_rids[i] = in->sep_rids[i - 1];
+      in->children[i + 1] = in->children[i];
+    }
+    in->sep_keys[idx] = child_split.sep_key;
+    in->sep_rids[idx] = child_split.sep_rid;
+    in->children[idx + 1] = child_split.right;
+    in->count++;
+    return {};
+  }
+  // Full inner node: split, promoting the middle separator.
+  int64_t tk[kInnerCap + 1];
+  uint64_t tr[kInnerCap + 1];
+  Node* tc[kInnerCap + 2];
+  tc[0] = in->children[0];
+  for (int i = 0, o = 0; i <= kInnerCap; ++i) {
+    if (i == idx) {
+      tk[i] = child_split.sep_key;
+      tr[i] = child_split.sep_rid;
+      tc[i + 1] = child_split.right;
+    } else {
+      tk[i] = in->sep_keys[o];
+      tr[i] = in->sep_rids[o];
+      tc[i + 1] = in->children[o + 1];
+      ++o;
+    }
+  }
+  int total = kInnerCap + 1;          // separators
+  int mid = total / 2;                // promoted
+  Inner* right = new Inner();
+  bytes_ += sizeof(Inner);
+  in->count = mid;
+  for (int i = 0; i < mid; ++i) {
+    in->sep_keys[i] = tk[i];
+    in->sep_rids[i] = tr[i];
+  }
+  for (int i = 0; i <= mid; ++i) in->children[i] = tc[i];
+  right->count = total - mid - 1;
+  for (int i = 0; i < right->count; ++i) {
+    right->sep_keys[i] = tk[mid + 1 + i];
+    right->sep_rids[i] = tr[mid + 1 + i];
+  }
+  for (int i = 0; i <= right->count; ++i) right->children[i] = tc[mid + 1 + i];
+  return SplitResult{right, tk[mid], tr[mid]};
+}
+
+void BPlusTree::Insert(int64_t key, uint64_t row_id) {
+  if (root_ == nullptr) {
+    Leaf* leaf = new Leaf();
+    bytes_ += sizeof(Leaf);
+    leaf->keys[0] = key;
+    leaf->vals[0] = row_id;
+    leaf->count = 1;
+    root_ = leaf;
+    size_ = 1;
+    return;
+  }
+  SplitResult split = InsertRec(root_, key, row_id);
+  if (split.right != nullptr) {
+    Inner* new_root = new Inner();
+    bytes_ += sizeof(Inner);
+    new_root->count = 1;
+    new_root->sep_keys[0] = split.sep_key;
+    new_root->sep_rids[0] = split.sep_rid;
+    new_root->children[0] = root_;
+    new_root->children[1] = split.right;
+    root_ = new_root;
+  }
+  ++size_;
+}
+
+bool BPlusTree::Erase(int64_t key, uint64_t row_id) {
+  if (root_ == nullptr) return false;
+  // Entries never move between leaves on erase, so the composite descent
+  // lands on the unique leaf whose range covers (key, row_id).
+  Leaf* leaf = const_cast<Leaf*>(FindLeaf(key, row_id));
+  for (int i = 0; i < leaf->count; ++i) {
+    if (leaf->keys[i] == key && leaf->vals[i] == row_id) {
+      for (int j = i; j + 1 < leaf->count; ++j) {
+        leaf->keys[j] = leaf->keys[j + 1];
+        leaf->vals[j] = leaf->vals[j + 1];
+      }
+      leaf->count--;
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+int BPlusTree::Depth() const {
+  if (root_ == nullptr) return 0;
+  int d = 1;
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const Inner*>(node)->children[0];
+    ++d;
+  }
+  return d;
+}
+
+bool BPlusTree::CheckRec(const Node* node, bool has_lo, int64_t lo_k,
+                         uint64_t lo_r, bool has_hi, int64_t hi_k,
+                         uint64_t hi_r, int depth, int expect_depth) const {
+  if (node->is_leaf) {
+    if (depth != expect_depth) return false;
+    const Leaf* leaf = static_cast<const Leaf*>(node);
+    for (int i = 0; i < leaf->count; ++i) {
+      if (i > 0 && CompositeLess(leaf->keys[i], leaf->vals[i],
+                                 leaf->keys[i - 1], leaf->vals[i - 1])) {
+        return false;
+      }
+      if (has_lo &&
+          CompositeLess(leaf->keys[i], leaf->vals[i], lo_k, lo_r)) {
+        return false;
+      }
+      if (has_hi &&
+          !CompositeLess(leaf->keys[i], leaf->vals[i], hi_k, hi_r)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  const Inner* in = static_cast<const Inner*>(node);
+  if (in->count < 1) return false;
+  for (int i = 1; i < in->count; ++i) {
+    if (!CompositeLess(in->sep_keys[i - 1], in->sep_rids[i - 1],
+                       in->sep_keys[i], in->sep_rids[i])) {
+      return false;
+    }
+  }
+  for (int i = 0; i <= in->count; ++i) {
+    bool c_has_lo = (i == 0) ? has_lo : true;
+    int64_t c_lo_k = (i == 0) ? lo_k : in->sep_keys[i - 1];
+    uint64_t c_lo_r = (i == 0) ? lo_r : in->sep_rids[i - 1];
+    bool c_has_hi = (i == in->count) ? has_hi : true;
+    int64_t c_hi_k = (i == in->count) ? hi_k : in->sep_keys[i];
+    uint64_t c_hi_r = (i == in->count) ? hi_r : in->sep_rids[i];
+    if (!CheckRec(in->children[i], c_has_lo, c_lo_k, c_lo_r, c_has_hi, c_hi_k,
+                  c_hi_r, depth + 1, expect_depth)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BPlusTree::CheckInvariants() const {
+  if (root_ == nullptr) return size_ == 0;
+  if (!CheckRec(root_, false, 0, 0, false, 0, 0, 1, Depth())) return false;
+  // Leaf chain must be globally ordered and cover exactly size_ entries.
+  const Node* node = root_;
+  while (!node->is_leaf) node = static_cast<const Inner*>(node)->children[0];
+  const Leaf* leaf = static_cast<const Leaf*>(node);
+  size_t n = 0;
+  bool have_prev = false;
+  int64_t pk = 0;
+  uint64_t pr = 0;
+  while (leaf != nullptr) {
+    for (int i = 0; i < leaf->count; ++i) {
+      if (have_prev &&
+          CompositeLess(leaf->keys[i], leaf->vals[i], pk, pr)) {
+        return false;
+      }
+      pk = leaf->keys[i];
+      pr = leaf->vals[i];
+      have_prev = true;
+      ++n;
+    }
+    leaf = leaf->next;
+  }
+  return n == size_;
+}
+
+}  // namespace ajoin

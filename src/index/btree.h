@@ -1,0 +1,116 @@
+// In-memory B+ tree over (int64 key, uint64 row_id) pairs with duplicate keys
+// and linked leaves for range scans. Joiners use it for band-join probes (the
+// paper's joiners use balanced binary trees for band joins); hand-rolled so
+// node layout, fanout, and scan behaviour are under our control.
+//
+// Entries are totally ordered by the composite (key, row_id), which makes
+// duplicate join keys unambiguous in separators and scans.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ajoin {
+
+class BPlusTree {
+ public:
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&& other) noexcept;
+  BPlusTree& operator=(BPlusTree&& other) noexcept;
+
+  void Insert(int64_t key, uint64_t row_id);
+
+  /// Removes one (key, row_id) entry; returns true if found.
+  bool Erase(int64_t key, uint64_t row_id);
+
+  /// Calls fn(key, row_id) for all entries with lo <= key <= hi, in order.
+  template <typename Fn>
+  void ForEachInRange(int64_t lo, int64_t hi, Fn&& fn) const {
+    if (root_ == nullptr || lo > hi) return;
+    const Leaf* leaf = FindLeaf(lo, 0);
+    while (leaf != nullptr) {
+      for (int i = 0; i < leaf->count; ++i) {
+        if (leaf->keys[i] < lo) continue;
+        if (leaf->keys[i] > hi) return;
+        fn(leaf->keys[i], leaf->vals[i]);
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  /// Calls fn(row_id) for all entries with exactly this key.
+  template <typename Fn>
+  void ForEachMatch(int64_t key, Fn&& fn) const {
+    ForEachInRange(key, key, [&fn](int64_t, uint64_t v) { fn(v); });
+  }
+
+  size_t size() const { return size_; }
+  void Clear();
+
+  /// Depth of the tree (1 = a single leaf); exposed for tests.
+  int Depth() const;
+
+  /// Memory footprint estimate in bytes.
+  size_t MemoryBytes() const { return bytes_; }
+
+  /// Validates tree invariants (ordering, separators, uniform depth, leaf
+  /// chain order); test hook.
+  bool CheckInvariants() const;
+
+ private:
+  static constexpr int kLeafCap = 64;
+  static constexpr int kInnerCap = 64;
+
+  struct Node {
+    bool is_leaf;
+    int count;
+    explicit Node(bool leaf) : is_leaf(leaf), count(0) {}
+  };
+
+  struct Leaf : Node {
+    Leaf() : Node(true), next(nullptr) {}
+    int64_t keys[kLeafCap];
+    uint64_t vals[kLeafCap];
+    Leaf* next;
+  };
+
+  struct Inner : Node {
+    Inner() : Node(false) {}
+    // children[i] covers composites < (sep_keys[i], sep_rids[i]);
+    // children[count] covers the rest.
+    int64_t sep_keys[kInnerCap];
+    uint64_t sep_rids[kInnerCap];
+    Node* children[kInnerCap + 1];
+  };
+
+  static bool CompositeLess(int64_t k1, uint64_t r1, int64_t k2, uint64_t r2) {
+    if (k1 != k2) return k1 < k2;
+    return r1 < r2;
+  }
+
+  const Leaf* FindLeaf(int64_t key, uint64_t row_id) const;
+
+  struct SplitResult {
+    Node* right = nullptr;
+    int64_t sep_key = 0;
+    uint64_t sep_rid = 0;
+  };
+  SplitResult InsertRec(Node* node, int64_t key, uint64_t row_id);
+  void FreeRec(Node* node);
+  bool CheckRec(const Node* node, bool has_lo, int64_t lo_k, uint64_t lo_r,
+                bool has_hi, int64_t hi_k, uint64_t hi_r, int depth,
+                int expect_depth) const;
+
+  Node* root_;
+  size_t size_;
+  size_t bytes_;
+};
+
+}  // namespace ajoin

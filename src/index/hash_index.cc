@@ -1,0 +1,50 @@
+#include "src/index/hash_index.h"
+
+#include "src/common/bitutil.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace ajoin {
+
+HashIndex::HashIndex(size_t initial_buckets) {
+  size_t buckets = CeilPowerOfTwo(initial_buckets < 16 ? 16 : initial_buckets);
+  heads_.assign(buckets, kNil);
+  shift_ = 64 - Log2Exact(buckets);
+}
+
+uint32_t HashIndex::BucketOf(int64_t key) const {
+  return static_cast<uint32_t>(SplitMix64(static_cast<uint64_t>(key)) >> shift_);
+}
+
+void HashIndex::MaybeGrow() {
+  if (entries_.size() < heads_.size() * 2) return;
+  size_t new_buckets = heads_.size() * 4;
+  heads_.assign(new_buckets, kNil);
+  shift_ = 64 - Log2Exact(new_buckets);
+  for (uint32_t e = 0; e < entries_.size(); ++e) {
+    uint32_t slot = BucketOf(entries_[e].key);
+    entries_[e].next = heads_[slot];
+    heads_[slot] = e;
+  }
+}
+
+void HashIndex::Insert(int64_t key, uint64_t row_id) {
+  AJOIN_CHECK_MSG(entries_.size() < kNil - 1, "hash index entry limit");
+  MaybeGrow();
+  uint32_t slot = BucketOf(key);
+  entries_.push_back(Entry{key, row_id, heads_[slot]});
+  heads_[slot] = static_cast<uint32_t>(entries_.size() - 1);
+}
+
+size_t HashIndex::CountMatches(int64_t key) const {
+  size_t n = 0;
+  ForEachMatch(key, [&n](uint64_t) { ++n; });
+  return n;
+}
+
+void HashIndex::Clear() {
+  entries_.clear();
+  heads_.assign(heads_.size(), kNil);
+}
+
+}  // namespace ajoin

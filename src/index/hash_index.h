@@ -1,0 +1,59 @@
+// Chained hash index over int64 keys -> uint64 row ids. Used by joiners for
+// equi-join probes (the paper's joiners use hashmaps for equi-joins).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ajoin {
+
+/// Insert-only multimap with open chaining and incremental growth.
+/// Duplicates per key are expected (skewed foreign keys).
+class HashIndex {
+ public:
+  explicit HashIndex(size_t initial_buckets = 64);
+
+  /// Inserts (key, row_id). Amortized O(1).
+  void Insert(int64_t key, uint64_t row_id);
+
+  /// Calls fn(row_id) for every entry with exactly this key.
+  template <typename Fn>
+  void ForEachMatch(int64_t key, Fn&& fn) const {
+    if (entries_.empty()) return;
+    uint32_t slot = BucketOf(key);
+    for (uint32_t e = heads_[slot]; e != kNil; e = entries_[e].next) {
+      if (entries_[e].key == key) fn(entries_[e].row_id);
+    }
+  }
+
+  /// Number of matches for a key (for selectivity probes).
+  size_t CountMatches(int64_t key) const;
+
+  size_t size() const { return entries_.size(); }
+  void Clear();
+
+  /// Memory footprint estimate in bytes.
+  size_t MemoryBytes() const {
+    return heads_.capacity() * sizeof(uint32_t) +
+           entries_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  struct Entry {
+    int64_t key;
+    uint64_t row_id;
+    uint32_t next;
+  };
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  uint32_t BucketOf(int64_t key) const;
+  void MaybeGrow();
+
+  std::vector<uint32_t> heads_;
+  std::vector<Entry> entries_;
+  int shift_;  // 64 - log2(buckets)
+};
+
+}  // namespace ajoin

@@ -1,0 +1,88 @@
+// JoinIndex: key -> entry-id index whose physical form depends on the join
+// kind — hash for equi, B+ tree for band, plain list for theta scans.
+// Concrete (no virtual dispatch) so joiner probe loops stay tight.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/btree.h"
+#include "src/index/hash_index.h"
+#include "src/localjoin/predicate.h"
+
+namespace ajoin {
+
+class JoinIndex {
+ public:
+  enum class Kind : uint8_t { kHash, kTree, kScan };
+
+  /// Index kind appropriate for a predicate kind.
+  static Kind KindFor(JoinSpec::Kind k) {
+    switch (k) {
+      case JoinSpec::Kind::kEqui: return Kind::kHash;
+      case JoinSpec::Kind::kBand: return Kind::kTree;
+      case JoinSpec::Kind::kTheta: return Kind::kScan;
+    }
+    return Kind::kScan;
+  }
+
+  explicit JoinIndex(Kind kind = Kind::kHash) : kind_(kind) {}
+
+  void Add(int64_t key, uint64_t id) {
+    switch (kind_) {
+      case Kind::kHash:
+        hash_.Insert(key, id);
+        break;
+      case Kind::kTree:
+        tree_.Insert(key, id);
+        break;
+      case Kind::kScan:
+        scan_.push_back(id);
+        break;
+    }
+    ++size_;
+  }
+
+  /// Calls fn(id) for every entry whose key lies in [lo, hi]. For kHash the
+  /// range must be a point (equi probes). For kScan all entries qualify
+  /// (caller evaluates the theta predicate on rows).
+  template <typename Fn>
+  void ForEachCandidate(int64_t lo, int64_t hi, Fn&& fn) const {
+    switch (kind_) {
+      case Kind::kHash:
+        hash_.ForEachMatch(lo, fn);
+        break;
+      case Kind::kTree:
+        tree_.ForEachInRange(lo, hi, [&fn](int64_t, uint64_t id) { fn(id); });
+        break;
+      case Kind::kScan:
+        for (uint64_t id : scan_) fn(id);
+        break;
+    }
+  }
+
+  size_t size() const { return size_; }
+  Kind kind() const { return kind_; }
+
+  void Clear() {
+    hash_.Clear();
+    tree_.Clear();
+    scan_.clear();
+    size_ = 0;
+  }
+
+  size_t MemoryBytes() const {
+    return hash_.MemoryBytes() + tree_.MemoryBytes() +
+           scan_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  Kind kind_;
+  HashIndex hash_;
+  BPlusTree tree_;
+  std::vector<uint64_t> scan_;
+  size_t size_ = 0;
+};
+
+}  // namespace ajoin

@@ -1,0 +1,130 @@
+// Progressive-merge-join-flavored local algorithm (Dittrich et al., cited
+// by the paper as one of the non-blocking local joins a joiner task may
+// adopt). Incoming tuples accumulate in an in-memory insertion buffer that
+// is joined symmetrically; when the buffer fills it is sorted into an
+// immutable run, and probes merge against all sealed runs with binary
+// search. Sorting is by join key, so equi and band predicates are
+// supported; results are identical to the hash/tree joiners.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/localjoin/predicate.h"
+#include "src/storage/row_store.h"
+
+namespace ajoin {
+
+class ProgressiveMergeJoin {
+ public:
+  /// run_capacity: tuples buffered per relation before sealing a sorted run.
+  explicit ProgressiveMergeJoin(JoinSpec spec, size_t run_capacity = 4096)
+      : spec_(std::move(spec)), run_capacity_(run_capacity) {
+    AJOIN_CHECK_MSG(spec_.kind != JoinSpec::Kind::kTheta,
+                    "PMJ requires a sortable key predicate");
+  }
+
+  /// Inserts a tuple, emitting all new matches. emit(r_row, s_row).
+  template <typename Emit>
+  void Insert(Rel rel, const Row& row, Emit&& emit) {
+    const auto i = static_cast<size_t>(rel);
+    int64_t key = spec_.KeyOf(rel, row);
+    // Join against the opposite side: its buffer (scan) and its sealed
+    // runs (binary search on the sorted key range).
+    int64_t lo, hi;
+    spec_.ProbeRange(rel, key, &lo, &hi);
+    const auto opp = static_cast<size_t>(Opposite(rel));
+    for (const BufferedTuple& other : buffer_[opp]) {
+      if (other.key < lo || other.key > hi) continue;
+      EmitPair(rel, row, store_[opp].Get(other.row_id), emit);
+    }
+    for (const Run& run : runs_[opp]) {
+      auto begin = std::lower_bound(
+          run.entries.begin(), run.entries.end(), lo,
+          [](const BufferedTuple& e, int64_t k) { return e.key < k; });
+      for (auto it = begin; it != run.entries.end() && it->key <= hi; ++it) {
+        EmitPair(rel, row, store_[opp].Get(it->row_id), emit);
+      }
+    }
+    // Store.
+    uint64_t id = store_[i].Append(row);
+    buffer_[i].push_back(BufferedTuple{key, id});
+    if (buffer_[i].size() >= run_capacity_) SealRun(rel);
+  }
+
+  /// Seals the current buffer of `rel` into a sorted run (also called
+  /// internally when the buffer fills).
+  void SealRun(Rel rel) {
+    const auto i = static_cast<size_t>(rel);
+    if (buffer_[i].empty()) return;
+    Run run;
+    run.entries = std::move(buffer_[i]);
+    buffer_[i].clear();
+    std::sort(run.entries.begin(), run.entries.end(),
+              [](const BufferedTuple& a, const BufferedTuple& b) {
+                return a.key < b.key;
+              });
+    runs_[i].push_back(std::move(run));
+    MaybeMergeRuns(rel);
+  }
+
+  size_t StoredCount(Rel rel) const {
+    return store_[static_cast<size_t>(rel)].size();
+  }
+  size_t RunCount(Rel rel) const {
+    return runs_[static_cast<size_t>(rel)].size();
+  }
+
+ private:
+  struct BufferedTuple {
+    int64_t key;
+    uint64_t row_id;
+  };
+  struct Run {
+    std::vector<BufferedTuple> entries;
+  };
+
+  template <typename Emit>
+  void EmitPair(Rel rel, const Row& row, const Row& other, Emit&& emit) {
+    bool match = (rel == Rel::kR) ? spec_.Matches(row, other)
+                                  : spec_.Matches(other, row);
+    if (!match) return;
+    if (rel == Rel::kR) {
+      emit(row, other);
+    } else {
+      emit(other, row);
+    }
+  }
+
+  /// Keeps the run count logarithmic: merge the two smallest runs whenever
+  /// there are more than kMaxRuns (the "progressive merge" phase).
+  void MaybeMergeRuns(Rel rel) {
+    static constexpr size_t kMaxRuns = 8;
+    auto& runs = runs_[static_cast<size_t>(rel)];
+    while (runs.size() > kMaxRuns) {
+      std::sort(runs.begin(), runs.end(), [](const Run& a, const Run& b) {
+        return a.entries.size() < b.entries.size();
+      });
+      Run merged;
+      merged.entries.resize(runs[0].entries.size() + runs[1].entries.size());
+      std::merge(runs[0].entries.begin(), runs[0].entries.end(),
+                 runs[1].entries.begin(), runs[1].entries.end(),
+                 merged.entries.begin(),
+                 [](const BufferedTuple& a, const BufferedTuple& b) {
+                   return a.key < b.key;
+                 });
+      runs.erase(runs.begin(), runs.begin() + 2);
+      runs.push_back(std::move(merged));
+    }
+  }
+
+  JoinSpec spec_;
+  size_t run_capacity_;
+  RowStore store_[2];
+  std::vector<BufferedTuple> buffer_[2];
+  std::vector<Run> runs_[2];
+};
+
+}  // namespace ajoin

@@ -1,0 +1,84 @@
+#include "src/localjoin/predicate.h"
+
+#include <limits>
+
+#include "src/common/status.h"
+
+namespace ajoin {
+
+bool JoinSpec::Matches(const Row& r, const Row& s) const {
+  bool key_ok = false;
+  switch (kind) {
+    case Kind::kEqui:
+      key_ok = KeyOf(Rel::kR, r) == KeyOf(Rel::kS, s);
+      break;
+    case Kind::kBand: {
+      int64_t d = KeyOf(Rel::kR, r) - KeyOf(Rel::kS, s);
+      key_ok = d >= band_lo && d <= band_hi;
+      break;
+    }
+    case Kind::kTheta:
+      AJOIN_CHECK_MSG(static_cast<bool>(theta), "theta predicate unset");
+      key_ok = theta(r, s);
+      break;
+  }
+  if (!key_ok) return false;
+  if (residual && !residual(r, s)) return false;
+  return true;
+}
+
+void JoinSpec::ProbeRange(Rel rel, int64_t key, int64_t* lo, int64_t* hi) const {
+  switch (kind) {
+    case Kind::kEqui:
+      *lo = *hi = key;
+      return;
+    case Kind::kBand:
+      if (rel == Rel::kR) {
+        // r - s in [band_lo, band_hi]  =>  s in [r - band_hi, r - band_lo]
+        *lo = key - band_hi;
+        *hi = key - band_lo;
+      } else {
+        // r in [s + band_lo, s + band_hi]
+        *lo = key + band_lo;
+        *hi = key + band_hi;
+      }
+      return;
+    case Kind::kTheta:
+      *lo = std::numeric_limits<int64_t>::min();
+      *hi = std::numeric_limits<int64_t>::max();
+      return;
+  }
+}
+
+JoinSpec MakeEquiJoin(int r_key_col, int s_key_col, std::string name) {
+  JoinSpec spec;
+  spec.kind = JoinSpec::Kind::kEqui;
+  spec.r_key_col = r_key_col;
+  spec.s_key_col = s_key_col;
+  spec.name = std::move(name);
+  return spec;
+}
+
+JoinSpec MakeBandJoin(int r_key_col, int s_key_col, int64_t band_lo,
+                      int64_t band_hi, std::string name) {
+  AJOIN_CHECK_MSG(band_lo <= band_hi, "empty band");
+  JoinSpec spec;
+  spec.kind = JoinSpec::Kind::kBand;
+  spec.r_key_col = r_key_col;
+  spec.s_key_col = s_key_col;
+  spec.band_lo = band_lo;
+  spec.band_hi = band_hi;
+  spec.name = std::move(name);
+  return spec;
+}
+
+JoinSpec MakeThetaJoin(std::function<bool(const Row&, const Row&)> theta,
+                       std::string name) {
+  JoinSpec spec;
+  spec.kind = JoinSpec::Kind::kTheta;
+  spec.theta = std::move(theta);
+  spec.name = std::move(name);
+  return spec;
+}
+
+}  // namespace ajoin

@@ -1,0 +1,67 @@
+// Join predicate specification. The join-matrix model supports arbitrary
+// theta predicates; equi and band predicates additionally expose an indexable
+// key so joiners can probe hash / tree indexes instead of scanning.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/tuple/row.h"
+
+namespace ajoin {
+
+/// Which relation a tuple belongs to.
+enum class Rel : uint8_t { kR = 0, kS = 1 };
+
+inline Rel Opposite(Rel rel) { return rel == Rel::kR ? Rel::kS : Rel::kR; }
+inline const char* RelName(Rel rel) { return rel == Rel::kR ? "R" : "S"; }
+
+/// A binary join predicate over rows of R and S.
+struct JoinSpec {
+  enum class Kind : uint8_t {
+    kEqui,   // R.key == S.key          -> hash index
+    kBand,   // R.key - S.key in [band_lo, band_hi]  -> tree index
+    kTheta,  // arbitrary callback      -> scan
+  };
+
+  Kind kind = Kind::kEqui;
+  int r_key_col = 0;  // key column in R rows (equi/band)
+  int s_key_col = 0;  // key column in S rows (equi/band)
+  int64_t band_lo = 0;
+  int64_t band_hi = 0;
+  /// Arbitrary predicate for kTheta (must be set for kTheta).
+  std::function<bool(const Row& r, const Row& s)> theta;
+  /// Optional residual applied to candidate pairs of any kind.
+  std::function<bool(const Row& r, const Row& s)> residual;
+
+  std::string name = "join";
+
+  /// Full predicate evaluation (key condition + residual).
+  bool Matches(const Row& r, const Row& s) const;
+
+  /// Key of a tuple (equi/band kinds only).
+  int64_t KeyOf(Rel rel, const Row& row) const {
+    return rel == Rel::kR ? row.Int64(static_cast<size_t>(r_key_col))
+                          : row.Int64(static_cast<size_t>(s_key_col));
+  }
+
+  /// Probe range in the *opposite* relation's key space for a tuple of
+  /// `rel` with key `key`. For equi this is [key, key]; for band it is the
+  /// interval implied by band_lo/band_hi; theta callers scan.
+  void ProbeRange(Rel rel, int64_t key, int64_t* lo, int64_t* hi) const;
+};
+
+/// R.key == S.key.
+JoinSpec MakeEquiJoin(int r_key_col, int s_key_col, std::string name = "equi");
+
+/// band_lo <= R.key - S.key <= band_hi.
+JoinSpec MakeBandJoin(int r_key_col, int s_key_col, int64_t band_lo,
+                      int64_t band_hi, std::string name = "band");
+
+/// Arbitrary predicate; joiners fall back to scans.
+JoinSpec MakeThetaJoin(std::function<bool(const Row&, const Row&)> theta,
+                       std::string name = "theta");
+
+}  // namespace ajoin

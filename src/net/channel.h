@@ -1,0 +1,67 @@
+// Blocking MPSC channel used by the threaded engine. FIFO per channel — the
+// delivery-order guarantee the migration protocol's flush markers rely on.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "src/net/message.h"
+
+namespace ajoin {
+
+class Channel {
+ public:
+  /// Enqueues a message. Never blocks (unbounded; the driver throttles at
+  /// the source so in-flight volume stays bounded).
+  void Push(Envelope&& msg) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a message is available or the channel is closed.
+  /// Returns nullopt only when closed and drained.
+  std::optional<Envelope> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    Envelope msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+  /// Non-blocking pop.
+  std::optional<Envelope> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    Envelope msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace ajoin

@@ -1,0 +1,62 @@
+// Message envelope exchanged between operator tasks. A single envelope type
+// keeps channels and engines monomorphic; the `type` tag selects which
+// fields are meaningful.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/mapping.h"
+#include "src/localjoin/predicate.h"
+#include "src/tuple/row.h"
+
+namespace ajoin {
+
+enum class MsgType : uint8_t {
+  kInput = 0,     // driver -> reshuffler: raw input tuple
+  kData,          // reshuffler -> joiner: routed tuple (epoch-tagged)
+  kMigrate,       // joiner -> joiner: migrated state tuple (mu)
+  kMigEnd,        // joiner -> joiner: sender finished its migration sends
+  kEpochChange,   // controller -> reshufflers: enter new epoch with mapping
+  kReshufSignal,  // reshuffler -> joiners: epoch-change flush marker
+  kMigAck,        // joiner -> controller: migration finalized locally
+  kEos,           // driver -> reshuffler -> joiner: end of stream
+  kExpand,        // controller -> all: elastic expansion (J -> 4J)
+  kCheckpoint,    // driver -> controller: barrier-mode migration checkpoint
+};
+
+const char* MsgTypeName(MsgType type);
+
+/// Epoch transition descriptor (kEpochChange / kReshufSignal / kExpand).
+struct EpochSpec {
+  uint32_t group = 0;    // group index (non-power-of-two J decomposition)
+  uint32_t epoch = 0;    // new epoch number
+  Mapping mapping;       // new (n,m) mapping of that group
+  bool expansion = false;  // kExpand: mapping refers to the expanded grid
+};
+
+struct Envelope {
+  MsgType type = MsgType::kInput;
+  int32_t from = -1;  // sender task id (engine-level)
+
+  // -- tuple payload (kInput, kData, kMigrate) --
+  Rel rel = Rel::kR;
+  int64_t key = 0;      // join key (slim mode; also cached in row mode)
+  uint64_t tag = 0;     // uniform partition tag (assigned by reshuffler)
+  uint64_t seq = 0;     // global arrival sequence number
+  uint32_t bytes = 0;   // accounted tuple size
+  uint32_t epoch = 0;   // epoch the tuple was routed under (kData)
+  uint32_t group = 0;   // target group (kData/kMigrate)
+  bool store = true;    // store-and-join vs probe-only (cross-group probes)
+  uint64_t ingest_us = 0;  // arrival timestamp for latency measurement
+  bool has_row = false;
+  Row row;
+
+  // -- control payload --
+  EpochSpec espec;
+};
+
+/// Convenience constructors.
+Envelope MakeInput(Rel rel, int64_t key, uint32_t bytes, uint64_t seq);
+
+}  // namespace ajoin

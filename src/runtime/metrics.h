@@ -1,0 +1,55 @@
+// Per-task counters collected by the operator cores. Engines stay
+// accounting-free; drivers harvest these after (or between) quiescent points
+// and feed them to the simulator's cost model or print them directly.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/histogram.h"
+
+namespace ajoin {
+
+/// Counters maintained by a joiner task.
+struct JoinerMetrics {
+  // Input-side (the ILF in tuples/bytes: every kData tuple received+stored).
+  uint64_t in_tuples = 0;
+  uint64_t in_bytes = 0;
+  // Join work.
+  uint64_t probe_candidates = 0;  // index candidates visited
+  uint64_t output_tuples = 0;
+  // Migration traffic.
+  uint64_t mig_out_tuples = 0;
+  uint64_t mig_out_bytes = 0;
+  uint64_t mig_in_tuples = 0;
+  uint64_t mig_in_bytes = 0;
+  uint64_t discarded_tuples = 0;
+  uint64_t migrations_finalized = 0;
+  // Current / peak storage.
+  uint64_t stored_tuples = 0;
+  uint64_t stored_bytes = 0;
+  uint64_t peak_stored_bytes = 0;
+  // Latency of emitted results (threaded engine; micros).
+  Histogram latency_us;
+
+  void NoteStored(uint64_t bytes) {
+    stored_tuples += 1;
+    stored_bytes += bytes;
+    if (stored_bytes > peak_stored_bytes) peak_stored_bytes = stored_bytes;
+  }
+  void NoteDropped(uint64_t count, uint64_t bytes) {
+    stored_tuples -= count;
+    stored_bytes -= bytes;
+    discarded_tuples += count;
+  }
+};
+
+/// Counters maintained by a reshuffler task.
+struct ReshufflerMetrics {
+  uint64_t routed_tuples = 0;
+  uint64_t sent_msgs = 0;
+  uint64_t sent_bytes = 0;
+  uint64_t epoch_changes = 0;
+};
+
+}  // namespace ajoin

@@ -1,0 +1,65 @@
+// Engine-agnostic task model. Operator logic (reshufflers, joiners,
+// controller) is written once against Task/Context and runs on either the
+// deterministic simulator or the multithreaded engine.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/net/message.h"
+
+namespace ajoin {
+
+/// Execution context handed to a task while processing a message.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// Id of the task being executed.
+  virtual int self() const = 0;
+
+  /// Sends a message to another task (FIFO per sender-receiver pair).
+  virtual void Send(int to, Envelope msg) = 0;
+
+  /// Monotonic time in microseconds. The simulator returns a deterministic
+  /// logical clock; the threaded engine returns wall-clock time.
+  virtual uint64_t NowMicros() const = 0;
+};
+
+/// An event-driven task. OnMessage is never invoked concurrently for the
+/// same task instance.
+class Task {
+ public:
+  virtual ~Task() = default;
+  virtual void OnMessage(Envelope msg, Context& ctx) = 0;
+};
+
+/// Minimal engine interface shared by SimEngine and ThreadEngine.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Registers a task; returns its id. Must be called before Start().
+  virtual int AddTask(std::unique_ptr<Task> task) = 0;
+
+  /// Starts dispatching (no-op for the simulator).
+  virtual void Start() = 0;
+
+  /// Injects a message from outside (the driver/source).
+  virtual void Post(int to, Envelope msg) = 0;
+
+  /// Blocks until all in-flight messages (and their transitive sends) have
+  /// been processed.
+  virtual void WaitQuiescent() = 0;
+
+  /// Stops dispatching and joins workers (no-op for the simulator).
+  virtual void Shutdown() = 0;
+
+  /// Access to a task for post-run inspection. Only valid when quiescent.
+  virtual Task* task(int id) = 0;
+
+  virtual uint64_t NowMicros() const = 0;
+};
+
+}  // namespace ajoin

@@ -1,0 +1,105 @@
+#include "src/runtime/thread_engine.h"
+
+#include <chrono>
+
+#include "src/common/status.h"
+
+namespace ajoin {
+
+class ThreadEngine::ThreadContext : public Context {
+ public:
+  ThreadContext(ThreadEngine* engine, int self) : engine_(engine), self_(self) {}
+
+  int self() const override { return self_; }
+
+  void Send(int to, Envelope msg) override {
+    msg.from = self_;
+    engine_->IncInflight();
+    engine_->channels_[static_cast<size_t>(to)]->Push(std::move(msg));
+  }
+
+  uint64_t NowMicros() const override { return engine_->NowMicros(); }
+
+ private:
+  ThreadEngine* engine_;
+  int self_;
+};
+
+ThreadEngine::~ThreadEngine() { Shutdown(); }
+
+uint64_t ThreadEngine::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int ThreadEngine::AddTask(std::unique_ptr<Task> task) {
+  AJOIN_CHECK_MSG(!started_, "AddTask after Start");
+  tasks_.push_back(std::move(task));
+  channels_.push_back(std::make_unique<Channel>());
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+void ThreadEngine::Start() {
+  AJOIN_CHECK_MSG(!started_, "double Start");
+  started_ = true;
+  workers_.reserve(tasks_.size());
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<int>(i)); });
+  }
+}
+
+void ThreadEngine::WorkerLoop(int id) {
+  Channel& channel = *channels_[static_cast<size_t>(id)];
+  ThreadContext ctx(this, id);
+  while (true) {
+    std::optional<Envelope> msg = channel.Pop();
+    if (!msg.has_value()) return;  // closed and drained
+    tasks_[static_cast<size_t>(id)]->OnMessage(std::move(*msg), ctx);
+    DecInflight();
+  }
+}
+
+void ThreadEngine::IncInflight() {
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadEngine::DecInflight() {
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    idle_cv_.notify_all();
+    throttle_cv_.notify_all();
+  } else if (inflight_.load(std::memory_order_relaxed) < max_inflight_) {
+    throttle_cv_.notify_one();
+  }
+}
+
+void ThreadEngine::Post(int to, Envelope msg) {
+  AJOIN_CHECK_MSG(started_, "Post before Start");
+  {
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    throttle_cv_.wait(lock, [this] {
+      return inflight_.load(std::memory_order_relaxed) < max_inflight_;
+    });
+  }
+  IncInflight();
+  channels_[static_cast<size_t>(to)]->Push(std::move(msg));
+}
+
+void ThreadEngine::WaitQuiescent() {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadEngine::Shutdown() {
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+  WaitQuiescent();
+  for (auto& channel : channels_) channel->Close();
+  for (auto& worker : workers_) worker.join();
+}
+
+}  // namespace ajoin

@@ -1,0 +1,35 @@
+#include "src/sim/cost_model.h"
+
+#include <algorithm>
+
+namespace ajoin {
+
+void TimeAccumulator::Update(size_t id, const JoinerMetrics& current,
+                             const CostModel& model) {
+  const JoinerMetrics& prev = prev_[id];
+  JoinerMetrics delta;
+  delta.in_tuples = current.in_tuples - prev.in_tuples;
+  delta.in_bytes = current.in_bytes - prev.in_bytes;
+  delta.probe_candidates = current.probe_candidates - prev.probe_candidates;
+  delta.output_tuples = current.output_tuples - prev.output_tuples;
+  delta.mig_in_tuples = current.mig_in_tuples - prev.mig_in_tuples;
+  delta.mig_out_tuples = current.mig_out_tuples - prev.mig_out_tuples;
+  bool over = model.OverBudget(current.stored_bytes);
+  if (over) any_spill_ = true;
+  busy_[id] += model.IntervalSeconds(delta, over);
+  // Store a copy of the counters (histogram not needed for deltas).
+  prev_[id].in_tuples = current.in_tuples;
+  prev_[id].in_bytes = current.in_bytes;
+  prev_[id].probe_candidates = current.probe_candidates;
+  prev_[id].output_tuples = current.output_tuples;
+  prev_[id].mig_in_tuples = current.mig_in_tuples;
+  prev_[id].mig_out_tuples = current.mig_out_tuples;
+}
+
+double TimeAccumulator::MaxBusySeconds() const {
+  double mx = 0.0;
+  for (double b : busy_) mx = std::max(mx, b);
+  return mx;
+}
+
+}  // namespace ajoin

@@ -1,0 +1,72 @@
+// Cost model translating operator counters into simulated execution time.
+//
+// The simulator reproduces the *shape* of the paper's measurements: per-tuple
+// input overhead dominates (section 3.3), probe/output work is
+// mapping-independent, migration tuples are processed at twice the rate of
+// new input (Theorem 4.6), and machines that exceed their memory budget pay
+// a disk penalty on all subsequent work (the BerkeleyDB overflow cliff).
+// `time_scale` calibrates simulated seconds to the paper's testbed magnitude.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/metrics.h"
+
+namespace ajoin {
+
+struct CostModel {
+  double sec_per_in_tuple = 18e-6;   // demarshal + store + index append
+  double sec_per_in_byte = 0.0;      // optional byte-proportional cost
+  double sec_per_probe = 1.2e-6;     // per index candidate visited
+  double sec_per_out_tuple = 2.0e-6; // result materialization / emission
+  // Migrated tuples are drained at twice the processing rate of new tuples
+  // (Theorem 4.6), so they cost half an input tuple each.
+  double sec_per_mig_tuple = 9e-6;
+  double disk_penalty = 5.0;         // work multiplier while over budget
+  uint64_t mem_budget_bytes = 0;     // per joiner; 0 = unbounded
+  double hop_latency_ms = 2.5;       // one network hop
+  double time_scale = 1.0;           // calibration to paper-scale seconds
+
+  /// Busy-time (seconds) implied by a counter delta, given whether the
+  /// machine was over its memory budget during the interval.
+  double IntervalSeconds(const JoinerMetrics& delta, bool over_budget) const {
+    double t = static_cast<double>(delta.in_tuples) * sec_per_in_tuple +
+               static_cast<double>(delta.in_bytes) * sec_per_in_byte +
+               static_cast<double>(delta.probe_candidates) * sec_per_probe +
+               static_cast<double>(delta.output_tuples) * sec_per_out_tuple +
+               static_cast<double>(delta.mig_in_tuples + delta.mig_out_tuples) *
+                   sec_per_mig_tuple;
+    if (over_budget) t *= disk_penalty;
+    return t * time_scale;
+  }
+
+  bool OverBudget(uint64_t stored_bytes) const {
+    return mem_budget_bytes != 0 && stored_bytes > mem_budget_bytes;
+  }
+};
+
+/// Accumulates per-machine busy time across snapshot intervals; execution
+/// time of the parallel operator is the max busy time over machines.
+class TimeAccumulator {
+ public:
+  explicit TimeAccumulator(size_t machines)
+      : busy_(machines, 0.0), prev_(machines) {}
+
+  /// Feeds the current counters of machine `id`; charges the delta since the
+  /// previous snapshot.
+  void Update(size_t id, const JoinerMetrics& current, const CostModel& model);
+
+  double BusySeconds(size_t id) const { return busy_[id]; }
+  double MaxBusySeconds() const;
+  /// True if any machine ever exceeded the model's memory budget.
+  bool AnySpill() const { return any_spill_; }
+
+ private:
+  std::vector<double> busy_;
+  std::vector<JoinerMetrics> prev_;
+  bool any_spill_ = false;
+};
+
+}  // namespace ajoin

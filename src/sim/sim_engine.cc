@@ -1,0 +1,45 @@
+#include "src/sim/sim_engine.h"
+
+#include "src/common/status.h"
+
+namespace ajoin {
+
+class SimEngine::SimContext : public Context {
+ public:
+  SimContext(SimEngine* engine, int self) : engine_(engine), self_(self) {}
+
+  int self() const override { return self_; }
+
+  void Send(int to, Envelope msg) override {
+    msg.from = self_;
+    engine_->queue_.emplace_back(to, std::move(msg));
+  }
+
+  uint64_t NowMicros() const override { return engine_->logical_time_; }
+
+ private:
+  SimEngine* engine_;
+  int self_;
+};
+
+void SimEngine::Post(int to, Envelope msg) {
+  queue_.emplace_back(to, std::move(msg));
+}
+
+void SimEngine::WaitQuiescent() {
+  AJOIN_CHECK_MSG(!draining_, "reentrant WaitQuiescent");
+  draining_ = true;
+  while (!queue_.empty()) {
+    auto [to, msg] = std::move(queue_.front());
+    queue_.pop_front();
+    AJOIN_CHECK_MSG(to >= 0 && to < static_cast<int>(tasks_.size()),
+                    "message to unknown task");
+    SimContext ctx(this, to);
+    tasks_[static_cast<size_t>(to)]->OnMessage(std::move(msg), ctx);
+    ++dispatched_;
+    ++logical_time_;
+  }
+  draining_ = false;
+}
+
+}  // namespace ajoin

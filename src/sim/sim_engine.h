@@ -1,0 +1,53 @@
+// Deterministic single-threaded engine: a global FIFO event queue with
+// run-to-completion semantics. Messages posted while processing are appended
+// and processed in order, so every task observes arrivals in a single global
+// order — the in-process equivalent of the paper's serial block-leader
+// forwarding that keeps multi-group deliveries consistent (section 4.2.2).
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/task.h"
+
+namespace ajoin {
+
+class SimEngine : public Engine {
+ public:
+  SimEngine() = default;
+
+  int AddTask(std::unique_ptr<Task> task) override {
+    tasks_.push_back(std::move(task));
+    return static_cast<int>(tasks_.size()) - 1;
+  }
+
+  void Start() override {}
+
+  void Post(int to, Envelope msg) override;
+
+  /// Drains the queue to empty, dispatching in FIFO order.
+  void WaitQuiescent() override;
+
+  void Shutdown() override {}
+
+  Task* task(int id) override { return tasks_[static_cast<size_t>(id)].get(); }
+
+  uint64_t NowMicros() const override { return logical_time_; }
+
+  /// Total messages dispatched (deterministic; used by tests).
+  uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  class SimContext;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::deque<std::pair<int, Envelope>> queue_;
+  uint64_t logical_time_ = 0;
+  uint64_t dispatched_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace ajoin

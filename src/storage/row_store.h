@@ -1,0 +1,36 @@
+// Append-only in-memory row arena with stable ids.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tuple/row.h"
+
+namespace ajoin {
+
+/// Stores rows contiguously; ids are dense [0, size). Used as the resident
+/// part of joiner state.
+class RowStore {
+ public:
+  uint64_t Append(Row row) {
+    bytes_ += row.ByteSize();
+    rows_.push_back(std::move(row));
+    return rows_.size() - 1;
+  }
+
+  const Row& Get(uint64_t id) const { return rows_[id]; }
+  size_t size() const { return rows_.size(); }
+  size_t bytes() const { return bytes_; }
+
+  void Clear() {
+    rows_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace ajoin

@@ -1,0 +1,15 @@
+#include "src/tuple/row.h"
+
+namespace ajoin {
+
+std::string Row::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace ajoin

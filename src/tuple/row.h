@@ -1,0 +1,47 @@
+// Row: a materialized tuple of Values.
+//
+// The engines route rows by a single i64 "join key" extracted once at the
+// reshuffler (equi/band predicates key on it; general theta predicates get
+// the whole row). Rows remain attached so residual predicates and output
+// materialization work.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tuple/value.h"
+
+namespace ajoin {
+
+class Row {
+ public:
+  Row() = default;
+  explicit Row(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t num_values() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  Value& value(size_t i) { return values_[i]; }
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  int64_t Int64(size_t i) const { return values_[i].AsInt64(); }
+  double Double(size_t i) const { return values_[i].AsNumeric(); }
+  const std::string& String(size_t i) const { return values_[i].AsString(); }
+
+  bool operator==(const Row& other) const { return values_ == other.values_; }
+
+  /// Serialized byte footprint.
+  size_t ByteSize() const {
+    size_t n = 2;  // column count prefix
+    for (const auto& v : values_) n += 1 + v.ByteSize();
+    return n;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace ajoin

@@ -1,0 +1,36 @@
+// Column schemas for generated relations.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tuple/value.h"
+
+namespace ajoin {
+
+/// Ordered list of (name, type) columns. Immutable after construction.
+class Schema {
+ public:
+  struct Column {
+    std::string name;
+    ValueType type;
+  };
+
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of a column by name; -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace ajoin

@@ -1,0 +1,49 @@
+#include "src/tuple/value.h"
+
+#include <cstdio>
+
+namespace ajoin {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64: return "int64";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (type() == ValueType::kString || other.type() == ValueType::kString) {
+    AJOIN_CHECK_MSG(type() == other.type(), "cannot order string vs numeric");
+    return AsString() < other.AsString();
+  }
+  return AsNumeric() < other.AsNumeric();
+}
+
+size_t Value::ByteSize() const {
+  switch (type()) {
+    case ValueType::kInt64: return 8;
+    case ValueType::kDouble: return 8;
+    case ValueType::kString: return 4 + AsString().size();
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  char buf[48];
+  switch (type()) {
+    case ValueType::kInt64:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(AsInt64()));
+      return buf;
+    case ValueType::kDouble:
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+}  // namespace ajoin

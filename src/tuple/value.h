@@ -1,0 +1,63 @@
+// Typed column values. The generator and predicates work over Rows of Values;
+// the dataflow engines ship Rows serialized into byte buffers.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace ajoin {
+
+enum class ValueType : uint8_t { kInt64 = 0, kDouble = 1, kString = 2 };
+
+const char* ValueTypeName(ValueType t);
+
+/// A single column value: int64, double, or string.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+
+  int64_t AsInt64() const {
+    AJOIN_CHECK(type() == ValueType::kInt64);
+    return std::get<int64_t>(v_);
+  }
+  double AsDouble() const {
+    AJOIN_CHECK(type() == ValueType::kDouble);
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const {
+    AJOIN_CHECK(type() == ValueType::kString);
+    return std::get<std::string>(v_);
+  }
+
+  /// Numeric view: int64 and double promote to double; strings are invalid.
+  double AsNumeric() const {
+    if (type() == ValueType::kInt64) return static_cast<double>(AsInt64());
+    return AsDouble();
+  }
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order within the same type (mixed numeric types compare as double).
+  bool operator<(const Value& other) const;
+
+  /// Serialized byte footprint (used for ILF accounting of variable rows).
+  size_t ByteSize() const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace ajoin

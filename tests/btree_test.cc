@@ -1,0 +1,157 @@
+// B+ tree unit and property tests, cross-checked against std::multimap.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/index/btree.h"
+
+namespace ajoin {
+namespace {
+
+TEST(BPlusTree, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Depth(), 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+  int count = 0;
+  tree.ForEachInRange(-100, 100, [&](int64_t, uint64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(BPlusTree, SingleLeafInsertScan) {
+  BPlusTree tree;
+  for (int i = 9; i >= 0; --i) tree.Insert(i, static_cast<uint64_t>(i * 10));
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_EQ(tree.Depth(), 1);
+  std::vector<int64_t> keys;
+  tree.ForEachInRange(0, 9, [&](int64_t k, uint64_t v) {
+    keys.push_back(k);
+    EXPECT_EQ(v, static_cast<uint64_t>(k * 10));
+  });
+  EXPECT_EQ(keys.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTree, SplitsGrowDepth) {
+  BPlusTree tree;
+  for (int i = 0; i < 10000; ++i) tree.Insert(i, static_cast<uint64_t>(i));
+  EXPECT_EQ(tree.size(), 10000u);
+  EXPECT_GE(tree.Depth(), 2);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTree, DuplicateKeysAllReturned) {
+  BPlusTree tree;
+  // 500 duplicates of one key spanning many leaves.
+  for (uint64_t v = 0; v < 500; ++v) tree.Insert(42, v);
+  for (uint64_t v = 0; v < 50; ++v) tree.Insert(41, 1000 + v);
+  std::set<uint64_t> vals;
+  tree.ForEachMatch(42, [&](uint64_t v) { vals.insert(v); });
+  EXPECT_EQ(vals.size(), 500u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTree, RangeScanMatchesMultimap) {
+  BPlusTree tree;
+  std::multimap<int64_t, uint64_t> ref;
+  Rng rng(11);
+  for (uint64_t i = 0; i < 20000; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(2000)) - 1000;
+    tree.Insert(key, i);
+    ref.emplace(key, i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  for (int trial = 0; trial < 200; ++trial) {
+    int64_t lo = static_cast<int64_t>(rng.Uniform(2200)) - 1100;
+    int64_t hi = lo + static_cast<int64_t>(rng.Uniform(100));
+    std::multiset<uint64_t> got, want;
+    tree.ForEachInRange(lo, hi, [&](int64_t, uint64_t v) { got.insert(v); });
+    for (auto it = ref.lower_bound(lo); it != ref.end() && it->first <= hi;
+         ++it) {
+      want.insert(it->second);
+    }
+    ASSERT_EQ(got, want) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+TEST(BPlusTree, EraseExactPairs) {
+  BPlusTree tree;
+  for (uint64_t v = 0; v < 300; ++v) tree.Insert(7, v);
+  EXPECT_TRUE(tree.Erase(7, 123));
+  EXPECT_FALSE(tree.Erase(7, 123));  // already gone
+  EXPECT_FALSE(tree.Erase(8, 0));    // never existed
+  EXPECT_EQ(tree.size(), 299u);
+  std::set<uint64_t> vals;
+  tree.ForEachMatch(7, [&](uint64_t v) { vals.insert(v); });
+  EXPECT_EQ(vals.count(123), 0u);
+  EXPECT_EQ(vals.size(), 299u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTree, RandomEraseProperty) {
+  BPlusTree tree;
+  std::multimap<int64_t, uint64_t> ref;
+  Rng rng(13);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(100));
+    tree.Insert(key, i);
+    ref.emplace(key, i);
+  }
+  // Erase a random half.
+  std::vector<std::pair<int64_t, uint64_t>> entries(ref.begin(), ref.end());
+  for (size_t i = 0; i < entries.size(); i += 2) {
+    EXPECT_TRUE(tree.Erase(entries[i].first, entries[i].second));
+    auto range = ref.equal_range(entries[i].first);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == entries[i].second) {
+        ref.erase(it);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(tree.size(), ref.size());
+  std::multiset<std::pair<int64_t, uint64_t>> got, want;
+  tree.ForEachInRange(-1000, 1000,
+                      [&](int64_t k, uint64_t v) { got.emplace(k, v); });
+  for (auto& [k, v] : ref) want.emplace(k, v);
+  EXPECT_EQ(got, want);
+}
+
+TEST(BPlusTree, MoveSemantics) {
+  BPlusTree a;
+  for (int i = 0; i < 1000; ++i) a.Insert(i, static_cast<uint64_t>(i));
+  BPlusTree b = std::move(a);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_TRUE(b.CheckInvariants());
+  BPlusTree c;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_GT(c.MemoryBytes(), 0u);
+}
+
+TEST(BPlusTree, DescendingAndAscendingInsertOrders) {
+  for (bool descending : {false, true}) {
+    BPlusTree tree;
+    for (int i = 0; i < 5000; ++i) {
+      int64_t key = descending ? 5000 - i : i;
+      tree.Insert(key, static_cast<uint64_t>(i));
+    }
+    EXPECT_TRUE(tree.CheckInvariants()) << "descending=" << descending;
+    size_t n = 0;
+    int64_t prev = -1;
+    tree.ForEachInRange(0, 5001, [&](int64_t k, uint64_t) {
+      EXPECT_GE(k, prev);
+      prev = k;
+      ++n;
+    });
+    EXPECT_EQ(n, 5000u);
+  }
+}
+
+}  // namespace
+}  // namespace ajoin

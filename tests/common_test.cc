@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/common/bitutil.h"
+#include "src/common/bytes.h"
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace ajoin {
+namespace {
+
+TEST(Status, RoundTrip) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status bad = Status::InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ToString(), "InvalidArgument: nope");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  Result<int> e(Status::NotFound("x"));
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BitUtil, PowersOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(63), 5);
+  EXPECT_EQ(FloorPowerOfTwo(100), 64u);
+  EXPECT_EQ(CeilPowerOfTwo(100), 128u);
+  EXPECT_EQ(CeilPowerOfTwo(64), 64u);
+}
+
+TEST(BitUtil, BinaryDecompose) {
+  EXPECT_EQ(BinaryDecompose(22), (std::vector<uint64_t>{16, 4, 2}));
+  EXPECT_EQ(BinaryDecompose(1), (std::vector<uint64_t>{1}));
+  EXPECT_EQ(BinaryDecompose(64), (std::vector<uint64_t>{64}));
+  // Sum property over a range.
+  for (uint64_t j = 1; j < 200; ++j) {
+    uint64_t sum = 0;
+    for (uint64_t p : BinaryDecompose(j)) {
+      EXPECT_TRUE(IsPowerOfTwo(p));
+      sum += p;
+    }
+    EXPECT_EQ(sum, j);
+  }
+}
+
+TEST(Rng, DeterministicAndSpread) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  // Uniform(n) stays in range and hits all buckets eventually.
+  Rng rng(3);
+  std::map<uint64_t, int> seen;
+  for (int i = 0; i < 10000; ++i) seen[rng.Uniform(8)]++;
+  EXPECT_EQ(seen.size(), 8u);
+  for (auto& [k, v] : seen) EXPECT_GT(v, 900) << k;
+}
+
+TEST(Zipf, UniformWhenZZero) {
+  ZipfSampler z(100, 0.0);
+  for (uint64_t k = 1; k <= 100; ++k) {
+    EXPECT_NEAR(z.Probability(k), 0.01, 1e-12);
+  }
+}
+
+TEST(Zipf, SkewConcentratesHead) {
+  ZipfSampler z1(1000, 1.0);
+  EXPECT_GT(z1.Probability(1), 50 * z1.Probability(100));
+  Rng rng(5);
+  uint64_t head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (z1.Sample(rng) <= 10) ++head;
+  }
+  // With z=1 the top-10 values carry ~39% of the mass (H_10 / H_1000).
+  double frac = static_cast<double>(head) / n;
+  EXPECT_GT(frac, 0.30);
+  EXPECT_LT(frac, 0.50);
+}
+
+TEST(Zipf, LargeDomainBuckets) {
+  ZipfSampler z(1u << 24, 0.75);  // beyond the exact-CDF limit
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = z.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 1u << 24);
+  }
+}
+
+TEST(Histogram, PercentilesAndMerge) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.Mean(), 500.5, 0.1);
+  EXPECT_GE(h.Percentile(0.99), 500.0);
+  EXPECT_LE(h.Percentile(0.01), 32.0);
+  Histogram other;
+  other.Record(5000);
+  h.Merge(other);
+  EXPECT_EQ(h.count(), 1001u);
+  EXPECT_EQ(h.max(), 5000.0);
+}
+
+TEST(Bytes, Formatting) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(3.5 * 1024 * 1024), "3.50 MB");
+  EXPECT_EQ(FormatBytes(2.0 * 1024 * 1024 * 1024), "2.00 GB");
+}
+
+TEST(SplitMix, AvalancheSmoke) {
+  // Nearby inputs produce well-spread outputs.
+  uint64_t x = SplitMix64(1), y = SplitMix64(2);
+  EXPECT_NE(x, y);
+  int diff_bits = __builtin_popcountll(x ^ y);
+  EXPECT_GT(diff_bits, 16);
+}
+
+}  // namespace
+}  // namespace ajoin

@@ -1,0 +1,86 @@
+// Content-sensitive join-matrix analysis tests (the paper's section 6
+// future-work direction, built on the section 4.1 histogram statistics).
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/content.h"
+
+namespace ajoin {
+namespace {
+
+KeyHistogram UniformHist(int64_t lo, int64_t hi, size_t buckets, uint64_t n,
+                         uint64_t seed) {
+  KeyHistogram hist(lo, hi, buckets);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < n; ++i) {
+    hist.Add(lo + static_cast<int64_t>(
+                      rng.Uniform(static_cast<uint64_t>(hi - lo))));
+  }
+  return hist;
+}
+
+TEST(ContentAnalysis, CrossProductKeepsEverything) {
+  // A band as wide as the whole key range = cross product: everything is a
+  // candidate and no joiner can be saved.
+  auto r = UniformHist(0, 1000, 50, 10000, 1);
+  auto s = UniformHist(0, 1000, 50, 10000, 2);
+  ContentAnalysis a = AnalyzeKeyBand(r, s, -1000, 1000, 0, 1000, 64);
+  EXPECT_DOUBLE_EQ(a.candidate_fraction, 1.0);
+  EXPECT_EQ(a.joiners_needed, 64u);
+  EXPECT_DOUBLE_EQ(a.wasted_area_fraction, 0.0);
+}
+
+TEST(ContentAnalysis, NarrowBandPrunesMostOfTheMatrix) {
+  // BCI-shaped: |r - s| <= 1 over a 2526-day domain. Only the near-diagonal
+  // bucket pairs are candidates: with B buckets, ~3/B of the matrix.
+  auto r = UniformHist(0, 2526, 64, 50000, 3);
+  auto s = UniformHist(0, 2526, 64, 50000, 4);
+  ContentAnalysis a = AnalyzeKeyBand(r, s, -1, 1, 0, 2526, 64);
+  EXPECT_LT(a.candidate_fraction, 3.5 / 64);
+  EXPECT_GT(a.candidate_fraction, 0.5 / 64);
+  EXPECT_LE(a.joiners_needed, 4u);
+  EXPECT_GT(a.wasted_area_fraction, 0.9);
+}
+
+TEST(ContentAnalysis, DisjointRangesNeverMatch) {
+  // R keys in [0,100), S keys in [500,600): an equi join can never match.
+  KeyHistogram r(0, 1000, 50);
+  KeyHistogram s(0, 1000, 50);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    r.Add(static_cast<int64_t>(rng.Uniform(100)));
+    s.Add(500 + static_cast<int64_t>(rng.Uniform(100)));
+  }
+  ContentAnalysis a = AnalyzeKeyBand(r, s, 0, 0, 0, 1000, 64);
+  EXPECT_DOUBLE_EQ(a.candidate_fraction, 0.0);
+  EXPECT_EQ(a.joiners_needed, 0u);
+  EXPECT_DOUBLE_EQ(a.wasted_area_fraction, 1.0);
+}
+
+TEST(ContentAnalysis, SkewedEquiJoinStillConcentrated) {
+  // Equi join with clustered keys: candidates are the diagonal buckets
+  // where both relations have mass.
+  KeyHistogram r(0, 1000, 100);
+  KeyHistogram s(0, 1000, 100);
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    r.Add(static_cast<int64_t>(rng.Uniform(1000)));
+    s.Add(static_cast<int64_t>(rng.Uniform(1000)));
+  }
+  ContentAnalysis a = AnalyzeKeyBand(r, s, 0, 0, 0, 1000, 100);
+  // Bucket-granular analysis is conservative: the diagonal plus both
+  // adjacent bucket diagonals are candidates (~3/100 of bucket pairs).
+  EXPECT_NEAR(a.candidate_fraction, 0.03, 0.01);
+  EXPECT_LE(a.joiners_needed, 4u);
+}
+
+TEST(ContentAnalysis, EmptyRelation) {
+  KeyHistogram r(0, 100, 10);
+  auto s = UniformHist(0, 100, 10, 100, 7);
+  ContentAnalysis a = AnalyzeKeyBand(r, s, 0, 0, 0, 100, 16);
+  EXPECT_DOUBLE_EQ(a.candidate_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace ajoin

@@ -1,0 +1,108 @@
+// Cost model and time accumulator tests: delta accounting, spill penalty,
+// migration drain rate (Theorem 4.6's 2:1), calibration scale.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/cost_model.h"
+
+namespace ajoin {
+namespace {
+
+TEST(CostModel, IntervalSecondsComposition) {
+  CostModel model;
+  model.sec_per_in_tuple = 1.0;
+  model.sec_per_probe = 0.5;
+  model.sec_per_out_tuple = 0.25;
+  model.sec_per_mig_tuple = 2.0;
+  model.time_scale = 1.0;
+  JoinerMetrics delta;
+  delta.in_tuples = 10;
+  delta.probe_candidates = 4;
+  delta.output_tuples = 8;
+  delta.mig_in_tuples = 1;
+  delta.mig_out_tuples = 2;
+  EXPECT_DOUBLE_EQ(model.IntervalSeconds(delta, false),
+                   10 * 1.0 + 4 * 0.5 + 8 * 0.25 + 3 * 2.0);
+}
+
+TEST(CostModel, DiskPenaltyMultiplies) {
+  CostModel model;
+  model.sec_per_in_tuple = 1.0;
+  model.sec_per_probe = 0;
+  model.sec_per_out_tuple = 0;
+  model.sec_per_mig_tuple = 0;
+  model.disk_penalty = 7.0;
+  model.time_scale = 1.0;
+  JoinerMetrics delta;
+  delta.in_tuples = 3;
+  EXPECT_DOUBLE_EQ(model.IntervalSeconds(delta, true), 21.0);
+  EXPECT_DOUBLE_EQ(model.IntervalSeconds(delta, false), 3.0);
+}
+
+TEST(CostModel, MigrationDrainIsHalfInputCost) {
+  // Theorem 4.6: migrated tuples are processed at twice the rate of new
+  // tuples, so a migrated tuple costs half an input tuple.
+  CostModel model;
+  EXPECT_NEAR(model.sec_per_mig_tuple, model.sec_per_in_tuple / 2, 1e-12);
+}
+
+TEST(CostModel, OverBudget) {
+  CostModel model;
+  model.mem_budget_bytes = 100;
+  EXPECT_FALSE(model.OverBudget(100));
+  EXPECT_TRUE(model.OverBudget(101));
+  model.mem_budget_bytes = 0;  // unbounded
+  EXPECT_FALSE(model.OverBudget(1ull << 40));
+}
+
+TEST(TimeAccumulator, AccumulatesDeltas) {
+  CostModel model;
+  model.sec_per_in_tuple = 1.0;
+  model.sec_per_probe = 0;
+  model.sec_per_out_tuple = 0;
+  model.sec_per_mig_tuple = 0;
+  model.time_scale = 1.0;
+  TimeAccumulator acc(2);
+  JoinerMetrics m0;
+  m0.in_tuples = 5;
+  acc.Update(0, m0, model);
+  EXPECT_DOUBLE_EQ(acc.BusySeconds(0), 5.0);
+  m0.in_tuples = 12;  // cumulative counter
+  acc.Update(0, m0, model);
+  EXPECT_DOUBLE_EQ(acc.BusySeconds(0), 12.0);
+  EXPECT_DOUBLE_EQ(acc.BusySeconds(1), 0.0);
+  EXPECT_DOUBLE_EQ(acc.MaxBusySeconds(), 12.0);
+  EXPECT_FALSE(acc.AnySpill());
+}
+
+TEST(TimeAccumulator, SpillDetection) {
+  CostModel model;
+  model.mem_budget_bytes = 10;
+  TimeAccumulator acc(1);
+  JoinerMetrics m;
+  m.in_tuples = 1;
+  m.stored_bytes = 5;
+  acc.Update(0, m, model);
+  EXPECT_FALSE(acc.AnySpill());
+  m.in_tuples = 2;
+  m.stored_bytes = 50;
+  acc.Update(0, m, model);
+  EXPECT_TRUE(acc.AnySpill());
+}
+
+TEST(TimeAccumulator, TimeScaleCalibration) {
+  CostModel model;
+  model.sec_per_in_tuple = 1.0;
+  model.sec_per_probe = 0;
+  model.sec_per_out_tuple = 0;
+  model.sec_per_mig_tuple = 0;
+  model.time_scale = 10.0;
+  TimeAccumulator acc(1);
+  JoinerMetrics m;
+  m.in_tuples = 3;
+  acc.Update(0, m, model);
+  EXPECT_DOUBLE_EQ(acc.BusySeconds(0), 30.0);
+}
+
+}  // namespace
+}  // namespace ajoin

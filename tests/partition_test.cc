@@ -1,0 +1,172 @@
+// Partition tags, grid layouts, relabeling locality, and expansion.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/random.h"
+#include "src/core/partition.h"
+
+namespace ajoin {
+namespace {
+
+TEST(PartitionOf, RefinementProperty) {
+  // The partition under 2n must be a child of the partition under n —
+  // the property that makes Keep/Discard locally computable.
+  Rng rng(1);
+  for (int trial = 0; trial < 10000; ++trial) {
+    uint64_t tag = rng.Next();
+    for (uint32_t n = 1; n <= 256; n *= 2) {
+      uint32_t parent = PartitionOf(tag, n);
+      uint32_t child = PartitionOf(tag, n * 2);
+      ASSERT_TRUE(child == 2 * parent || child == 2 * parent + 1);
+    }
+  }
+}
+
+TEST(PartitionOf, RoughlyUniform) {
+  Rng rng(2);
+  const uint32_t parts = 16;
+  std::vector<uint64_t> counts(parts, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) counts[PartitionOf(rng.Next(), parts)]++;
+  for (uint64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / parts, n / parts * 0.1);
+  }
+}
+
+TEST(GridLayout, InitialBijection) {
+  GridLayout layout = GridLayout::Initial(Mapping{4, 8});
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (uint32_t p = 0; p < 32; ++p) {
+    Coords c = layout.CoordsOf(p);
+    EXPECT_LT(c.i, 4u);
+    EXPECT_LT(c.j, 8u);
+    EXPECT_EQ(layout.MachineAt(c.i, c.j), p);
+    seen.emplace(c.i, c.j);
+  }
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(GridLayout, RowColMachines) {
+  GridLayout layout = GridLayout::Initial(Mapping{2, 4});
+  auto row = layout.RowMachines(1);
+  EXPECT_EQ(row.size(), 4u);
+  for (uint32_t m : row) EXPECT_EQ(layout.CoordsOf(m).i, 1u);
+  auto col = layout.ColMachines(3);
+  EXPECT_EQ(col.size(), 2u);
+  for (uint32_t m : col) EXPECT_EQ(layout.CoordsOf(m).j, 3u);
+}
+
+TEST(GridLayout, RelabelRowMergePreservesSColumns) {
+  // (8,2) -> (4,4): each machine's new column must refine its old column
+  // (new_j >> 1 == old_j), so S state never moves — the locality property
+  // of Fig. 3.
+  GridLayout from = GridLayout::Initial(Mapping{8, 2});
+  GridLayout to = from.Relabel(Mapping{4, 4});
+  for (uint32_t p = 0; p < 16; ++p) {
+    Coords oldc = from.CoordsOf(p);
+    Coords newc = to.CoordsOf(p);
+    EXPECT_EQ(newc.j >> 1, oldc.j) << "machine " << p;
+    EXPECT_EQ(newc.i, oldc.i >> 1) << "machine " << p;
+  }
+  // Bijection on the new grid.
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (uint32_t p = 0; p < 16; ++p) {
+    Coords c = to.CoordsOf(p);
+    seen.emplace(c.i, c.j);
+    EXPECT_EQ(to.MachineAt(c.i, c.j), p);
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(GridLayout, RelabelColMergePreservesRRows) {
+  GridLayout from = GridLayout::Initial(Mapping{2, 8});
+  GridLayout to = from.Relabel(Mapping{4, 4});
+  for (uint32_t p = 0; p < 16; ++p) {
+    Coords oldc = from.CoordsOf(p);
+    Coords newc = to.CoordsOf(p);
+    EXPECT_EQ(newc.i >> 1, oldc.i) << "machine " << p;
+    EXPECT_EQ(newc.j, oldc.j >> 1) << "machine " << p;
+  }
+}
+
+TEST(GridLayout, MultiStepRelabel) {
+  // (16,1) -> (2,8): three halving steps at once; still a bijection and
+  // still column-refining.
+  GridLayout from = GridLayout::Initial(Mapping{16, 1});
+  GridLayout to = from.Relabel(Mapping{2, 8});
+  std::set<uint32_t> machines;
+  for (uint32_t p = 0; p < 16; ++p) {
+    Coords newc = to.CoordsOf(p);
+    Coords oldc = from.CoordsOf(p);
+    EXPECT_EQ(newc.i, oldc.i >> 3);
+    EXPECT_EQ(newc.j >> 3, oldc.j);
+    machines.insert(to.MachineAt(newc.i, newc.j));
+  }
+  EXPECT_EQ(machines.size(), 16u);
+}
+
+TEST(GridLayout, RelabelRoundTripConsistency) {
+  // Relabeling out and back yields a valid bijection each time.
+  GridLayout layout = GridLayout::Initial(Mapping{4, 4});
+  layout = layout.Relabel(Mapping{2, 8});
+  layout = layout.Relabel(Mapping{4, 4});
+  layout = layout.Relabel(Mapping{8, 2});
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (uint32_t p = 0; p < 16; ++p) {
+    Coords c = layout.CoordsOf(p);
+    EXPECT_EQ(layout.MachineAt(c.i, c.j), p);
+    seen.emplace(c.i, c.j);
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(GridLayout, ExpandQuadruples) {
+  GridLayout from = GridLayout::Initial(Mapping{2, 2});
+  GridLayout to = from.Expand();
+  EXPECT_EQ(to.mapping(), (Mapping{4, 4}));
+  EXPECT_EQ(to.J(), 16u);
+  // Parents keep the (2i, 2j) quadrant.
+  for (uint32_t p = 0; p < 4; ++p) {
+    Coords oldc = from.CoordsOf(p);
+    Coords newc = to.CoordsOf(p);
+    EXPECT_EQ(newc.i, 2 * oldc.i);
+    EXPECT_EQ(newc.j, 2 * oldc.j);
+  }
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (uint32_t p = 0; p < 16; ++p) {
+    Coords c = to.CoordsOf(p);
+    EXPECT_EQ(to.MachineAt(c.i, c.j), p);
+    seen.emplace(c.i, c.j);
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(GridLayout, OwnsAndTargets) {
+  GridLayout layout = GridLayout::Initial(Mapping{4, 2});
+  Rng rng(7);
+  for (int trial = 0; trial < 1000; ++trial) {
+    uint64_t tag = rng.Next();
+    auto r_targets = layout.TargetsFor(Rel::kR, tag);
+    EXPECT_EQ(r_targets.size(), 2u);  // m machines
+    for (uint32_t m : r_targets) EXPECT_TRUE(layout.Owns(m, Rel::kR, tag));
+    auto s_targets = layout.TargetsFor(Rel::kS, tag);
+    EXPECT_EQ(s_targets.size(), 4u);  // n machines
+    for (uint32_t m : s_targets) EXPECT_TRUE(layout.Owns(m, Rel::kS, tag));
+    // Exactly one machine is in both the row and the column.
+    std::set<uint32_t> rs(r_targets.begin(), r_targets.end());
+    int common = 0;
+    for (uint32_t m : s_targets) common += rs.count(m);
+    EXPECT_EQ(common, 1);
+  }
+}
+
+TEST(TagForSeq, Deterministic) {
+  EXPECT_EQ(TagForSeq(42, Rel::kR), TagForSeq(42, Rel::kR));
+  EXPECT_NE(TagForSeq(42, Rel::kR), TagForSeq(42, Rel::kS));
+  EXPECT_NE(TagForSeq(42, Rel::kR), TagForSeq(43, Rel::kR));
+}
+
+}  // namespace
+}  // namespace ajoin

@@ -1,0 +1,236 @@
+// Fault-tolerance hooks (paper section 4.3.3): joiner snapshot/restore and
+// whole-operator checkpoint + replay — a crash after a checkpoint must not
+// lose or duplicate any result, including when the checkpoint sits after
+// migrations (non-identity layouts).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/operator.h"
+#include "src/core/recovery.h"
+#include "src/sim/sim_engine.h"
+
+namespace ajoin {
+namespace {
+
+std::vector<StreamTuple> MakeStream(uint64_t n_r, uint64_t n_s,
+                                    int64_t domain, uint64_t seed) {
+  std::vector<StreamTuple> out;
+  Rng rng(seed);
+  uint64_t left_r = n_r, left_s = n_s;
+  while (left_r + left_s > 0) {
+    bool pick_r = left_r > 0 &&
+                  (left_s == 0 || rng.Uniform(left_r + left_s) < left_r);
+    StreamTuple t;
+    t.rel = pick_r ? Rel::kR : Rel::kS;
+    t.key = static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(domain)));
+    t.bytes = 16;
+    out.push_back(t);
+    (pick_r ? left_r : left_s)--;
+  }
+  return out;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> Reference(
+    const std::vector<StreamTuple>& stream) {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (uint64_t i = 0; i < stream.size(); ++i) {
+    if (stream[i].rel != Rel::kR) continue;
+    for (uint64_t j = 0; j < stream.size(); ++j) {
+      if (stream[j].rel == Rel::kS && stream[j].key == stream[i].key) {
+        out.emplace_back(i, j);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(JoinerSnapshot, RoundTrip) {
+  JoinerConfig cfg;
+  cfg.spec = MakeEquiJoin(0, 0);
+  cfg.machine_index = 0;
+  cfg.initial_layout = GridLayout::Initial(Mapping{1, 1});
+  cfg.num_reshufflers = 1;
+  cfg.joiner_task_base = 0;
+  JoinerCore joiner(cfg);
+
+  class NullContext : public Context {
+   public:
+    int self() const override { return 0; }
+    void Send(int, Envelope) override {}
+    uint64_t NowMicros() const override { return 0; }
+  } ctx;
+
+  for (int i = 0; i < 200; ++i) {
+    Envelope env;
+    env.type = MsgType::kData;
+    env.rel = i % 3 == 0 ? Rel::kR : Rel::kS;
+    env.key = i % 20;
+    env.tag = SplitMix64(static_cast<uint64_t>(i));
+    env.seq = static_cast<uint64_t>(i);
+    env.bytes = 16;
+    env.store = true;
+    joiner.OnMessage(std::move(env), ctx);
+  }
+  std::vector<uint8_t> snapshot;
+  ASSERT_TRUE(joiner.SnapshotState(&snapshot).ok());
+
+  JoinerCore fresh(cfg);
+  ASSERT_TRUE(fresh.RestoreState(snapshot).ok());
+  EXPECT_EQ(fresh.stored_count(Rel::kR), joiner.stored_count(Rel::kR));
+  EXPECT_EQ(fresh.stored_count(Rel::kS), joiner.stored_count(Rel::kS));
+  EXPECT_EQ(fresh.metrics().stored_bytes, joiner.metrics().stored_bytes);
+
+  // The restored joiner joins new tuples against the restored state.
+  Envelope probe;
+  probe.type = MsgType::kData;
+  probe.rel = Rel::kR;
+  probe.key = 1;  // S keys 1, 4, 7, ... include 1
+  probe.tag = 123;
+  probe.seq = 10000;
+  probe.bytes = 16;
+  probe.store = true;
+  fresh.OnMessage(std::move(probe), ctx);
+  EXPECT_GT(fresh.output_count(), 0u);
+}
+
+TEST(JoinerSnapshot, CorruptDataRejected) {
+  JoinerConfig cfg;
+  cfg.spec = MakeEquiJoin(0, 0);
+  cfg.initial_layout = GridLayout::Initial(Mapping{1, 1});
+  cfg.num_reshufflers = 1;
+  JoinerCore joiner(cfg);
+  std::vector<uint8_t> junk{1, 2, 3, 4, 5};
+  EXPECT_FALSE(joiner.RestoreState(junk).ok());
+  std::vector<uint8_t> snapshot;
+  ASSERT_TRUE(joiner.SnapshotState(&snapshot).ok());
+  snapshot.resize(snapshot.size() / 2 + 3);  // truncate
+  if (snapshot.size() > 12) {
+    EXPECT_FALSE(joiner.RestoreState(snapshot).ok());
+  }
+}
+
+// Crash-and-recover drill: run a prefix, checkpoint, keep running (the
+// "lost" suffix), then rebuild a fresh operator from the checkpoint and
+// replay the suffix. Combined output must equal the reference exactly.
+void CrashRecoveryDrill(uint32_t machines, uint64_t n_r, uint64_t n_s,
+                        double crash_at, uint64_t seed) {
+  auto stream = MakeStream(n_r, n_s, 25, seed);
+  auto want = Reference(stream);
+  const size_t cut = static_cast<size_t>(crash_at *
+                                         static_cast<double>(stream.size()));
+
+  OperatorConfig cfg;
+  cfg.spec = MakeEquiJoin(0, 0);
+  cfg.machines = machines;
+  cfg.adaptive = true;
+  cfg.min_total_before_adapt = 16;
+  cfg.collect_pairs = true;
+
+  // Phase 1: run to the checkpoint, snapshot, then "crash".
+  SimEngine engine1;
+  JoinOperator op1(engine1, cfg);
+  engine1.Start();
+  for (size_t i = 0; i < cut; ++i) {
+    op1.Push(stream[i]);
+    engine1.WaitQuiescent();
+  }
+  OperatorCheckpoint ckpt;
+  ASSERT_TRUE(CheckpointOperator(op1, &ckpt).ok());
+  EXPECT_EQ(ckpt.next_seq, cut);
+  auto pairs_before = op1.CollectPairs();
+
+  // Phase 2: recover on a fresh engine and replay the unacknowledged
+  // suffix with original sequence numbers.
+  SimEngine engine2;
+  OperatorConfig rcfg = RecoveryConfig(cfg, ckpt);
+  JoinOperator op2(engine2, rcfg);
+  engine2.Start();
+  ASSERT_TRUE(RestoreOperator(&op2, ckpt).ok());
+  for (size_t i = cut; i < stream.size(); ++i) {
+    op2.Push(stream[i]);
+    engine2.WaitQuiescent();
+  }
+  op2.SendEos();
+  engine2.WaitQuiescent();
+
+  auto got = pairs_before;
+  auto pairs_after = op2.CollectPairs();
+  got.insert(got.end(), pairs_after.begin(), pairs_after.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want) << "J=" << machines << " crash_at=" << crash_at;
+}
+
+TEST(Recovery, CrashEarly) { CrashRecoveryDrill(8, 100, 400, 0.2, 71); }
+TEST(Recovery, CrashMid) { CrashRecoveryDrill(8, 100, 400, 0.5, 72); }
+TEST(Recovery, CrashLate) { CrashRecoveryDrill(16, 150, 600, 0.8, 73); }
+
+TEST(Recovery, CheckpointAfterMigrations) {
+  // The lopsided stream forces migrations before the checkpoint, so the
+  // layout at checkpoint time is not the identity — recovery must remap
+  // blobs by grid coordinates.
+  auto stream = MakeStream(30, 1200, 12, 74);
+  auto want = Reference(stream);
+  const size_t cut = stream.size() / 2;
+
+  OperatorConfig cfg;
+  cfg.spec = MakeEquiJoin(0, 0);
+  cfg.machines = 16;
+  cfg.adaptive = true;
+  cfg.min_total_before_adapt = 16;
+  cfg.collect_pairs = true;
+
+  SimEngine engine1;
+  JoinOperator op1(engine1, cfg);
+  engine1.Start();
+  for (size_t i = 0; i < cut; ++i) {
+    op1.Push(stream[i]);
+    engine1.WaitQuiescent();
+  }
+  ASSERT_GE(op1.controller()->log().size(), 1u)
+      << "test needs pre-checkpoint migrations";
+  OperatorCheckpoint ckpt;
+  ASSERT_TRUE(CheckpointOperator(op1, &ckpt).ok());
+  EXPECT_NE(ckpt.mapping, MidMapping(16));
+  auto got = op1.CollectPairs();
+
+  SimEngine engine2;
+  JoinOperator op2(engine2, RecoveryConfig(cfg, ckpt));
+  engine2.Start();
+  ASSERT_TRUE(RestoreOperator(&op2, ckpt).ok());
+  for (size_t i = cut; i < stream.size(); ++i) {
+    op2.Push(stream[i]);
+    engine2.WaitQuiescent();
+  }
+  op2.SendEos();
+  engine2.WaitQuiescent();
+  auto pairs_after = op2.CollectPairs();
+  got.insert(got.end(), pairs_after.begin(), pairs_after.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(Recovery, RestoreIntoUsedOperatorFails) {
+  OperatorConfig cfg;
+  cfg.spec = MakeEquiJoin(0, 0);
+  cfg.machines = 4;
+  SimEngine engine;
+  JoinOperator op(engine, cfg);
+  engine.Start();
+  StreamTuple t;
+  t.rel = Rel::kR;
+  t.key = 1;
+  t.bytes = 8;
+  op.Push(t);
+  engine.WaitQuiescent();
+  OperatorCheckpoint ckpt;
+  ASSERT_TRUE(CheckpointOperator(op, &ckpt).ok());
+  EXPECT_FALSE(RestoreOperator(&op, ckpt).ok());  // already used
+}
+
+}  // namespace
+}  // namespace ajoin

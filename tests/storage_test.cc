@@ -1,0 +1,130 @@
+// Hash index, row store, and spill store tests.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/index/hash_index.h"
+#include "src/storage/row_store.h"
+#include "src/storage/spill_store.h"
+
+namespace ajoin {
+namespace {
+
+Row MakeRow(int64_t a, const std::string& s) {
+  Row row;
+  row.Append(Value(a));
+  row.Append(Value(s));
+  return row;
+}
+
+TEST(HashIndex, InsertAndMatch) {
+  HashIndex index;
+  index.Insert(5, 100);
+  index.Insert(5, 101);
+  index.Insert(7, 200);
+  std::set<uint64_t> got;
+  index.ForEachMatch(5, [&](uint64_t id) { got.insert(id); });
+  EXPECT_EQ(got, (std::set<uint64_t>{100, 101}));
+  EXPECT_EQ(index.CountMatches(7), 1u);
+  EXPECT_EQ(index.CountMatches(9), 0u);
+}
+
+TEST(HashIndex, GrowthKeepsAllEntries) {
+  HashIndex index(16);
+  std::multimap<int64_t, uint64_t> ref;
+  Rng rng(3);
+  for (uint64_t i = 0; i < 50000; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(500));
+    index.Insert(key, i);
+    ref.emplace(key, i);
+  }
+  EXPECT_EQ(index.size(), 50000u);
+  for (int64_t key = 0; key < 500; ++key) {
+    EXPECT_EQ(index.CountMatches(key), ref.count(key)) << key;
+  }
+}
+
+TEST(HashIndex, NegativeKeysAndClear) {
+  HashIndex index;
+  index.Insert(-42, 1);
+  index.Insert(-42, 2);
+  EXPECT_EQ(index.CountMatches(-42), 2u);
+  index.Clear();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.CountMatches(-42), 0u);
+}
+
+TEST(RowStore, AppendGet) {
+  RowStore store;
+  uint64_t id0 = store.Append(MakeRow(1, "a"));
+  uint64_t id1 = store.Append(MakeRow(2, "bb"));
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(store.Get(1).Int64(0), 2);
+  EXPECT_GT(store.bytes(), 0u);
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(SpillStore, InMemoryWhenUnbounded) {
+  SpillStore store(0);
+  for (int i = 0; i < 10000; ++i) {
+    store.Append(MakeRow(i, "payload"));
+  }
+  EXPECT_EQ(store.size(), 10000u);
+  EXPECT_EQ(store.stats().page_writes, 0u);
+  EXPECT_EQ(store.SpilledPages(), 0u);
+  EXPECT_EQ(store.Materialize(1234).Int64(0), 1234);
+}
+
+TEST(SpillStore, SpillsAndFaultsBack) {
+  SpillStore store(/*budget=*/128 * 1024);  // 2 pages resident
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    store.Append(MakeRow(i, "some longer payload string here"));
+  }
+  EXPECT_GT(store.stats().page_writes, 0u) << "expected spilling";
+  EXPECT_GT(store.SpilledPages(), 0u);
+  EXPECT_LE(store.resident_bytes(), 196 * 1024u);  // budget + open page slack
+  // Random access faults pages back and returns correct data.
+  Rng rng(9);
+  for (int trial = 0; trial < 500; ++trial) {
+    uint64_t id = rng.Uniform(n);
+    Row row = store.Materialize(id);
+    ASSERT_EQ(row.Int64(0), static_cast<int64_t>(id));
+    ASSERT_EQ(row.String(1), "some longer payload string here");
+  }
+  EXPECT_GT(store.stats().page_faults, 0u);
+}
+
+TEST(SpillStore, SequentialScanAfterSpill) {
+  SpillStore store(64 * 1024);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) store.Append(MakeRow(i, "x"));
+  int64_t expect = 0;
+  store.ForEach([&](uint64_t id, const Row& row) {
+    ASSERT_EQ(row.Int64(0), expect);
+    ASSERT_EQ(static_cast<int64_t>(id), expect);
+    ++expect;
+  });
+  EXPECT_EQ(expect, n);
+}
+
+TEST(SpillStore, TryGetResident) {
+  SpillStore store(64 * 1024);
+  for (int i = 0; i < 20000; ++i) store.Append(MakeRow(i, "abcdef"));
+  // Early rows were evicted; the most recent row is resident.
+  EXPECT_EQ(store.TryGetResident(0), nullptr);
+  const Row* last = store.TryGetResident(19999);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->Int64(0), 19999);
+  // Materialize faults it in; now resident.
+  store.Materialize(0);
+  EXPECT_NE(store.TryGetResident(0), nullptr);
+}
+
+}  // namespace
+}  // namespace ajoin
