@@ -9,8 +9,11 @@
 
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/bytes.h"
 #include "src/core/driver.h"
@@ -112,6 +115,114 @@ inline RunResult RunOne(const Workload& w, uint32_t machines, OpKind kind,
   engine.Start();
   return RunWorkload(engine, op, w, opts);
 }
+
+// ---------------------------------------------------------------------------
+// JSON results writer shared by all benches. Every bench emits a
+// BENCH_<name>.json file of flat rows so the perf trajectory accumulates
+// machine-readable points across PRs:
+//
+//   JsonResult out("exchange_throughput");
+//   JsonRow& row = out.AddRow();
+//   row.Add("mode", "batched").Add("batch_size", 64).Add("tuples_per_sec", x);
+//   out.Write();   // -> BENCH_exchange_throughput.json
+// ---------------------------------------------------------------------------
+
+class JsonRow {
+ public:
+  JsonRow& Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, Quote(value));
+    return *this;
+  }
+  JsonRow& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  JsonRow& Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRow& Add(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRow& Add(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRow& Add(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    out += "\"";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> literal
+};
+
+class JsonResult {
+ public:
+  explicit JsonResult(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Top-level metadata (dataset, calibration, units, ...).
+  JsonRow& meta() { return meta_; }
+
+  JsonRow& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes BENCH_<name>.json into `dir`. Returns false on I/O failure.
+  bool Write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonResult: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n",
+                 JsonRow::Quote(bench_name_).c_str());
+    std::fprintf(f, "  \"meta\": %s,\n  \"rows\": [\n", meta_.ToJson().c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", rows_[i].ToJson().c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  JsonRow meta_;
+  std::vector<JsonRow> rows_;
+};
 
 inline std::string Secs(double s, bool spilled) {
   char buf[48];

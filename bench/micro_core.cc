@@ -160,10 +160,12 @@ void BM_SimOperatorEndToEnd(benchmark::State& state) {
 BENCHMARK(BM_SimOperatorEndToEnd)->Arg(20000)->Unit(benchmark::kMillisecond);
 
 void BM_ThreadOperatorEndToEnd(benchmark::State& state) {
-  // Real-concurrency throughput on the threaded engine, J = 8.
+  // Real-concurrency throughput on the threaded engine (batched exchange
+  // plane), J = 8. See fig_exchange_throughput for the per-tuple-vs-batched
+  // sweep.
   for (auto _ : state) {
     state.PauseTiming();
-    ThreadEngine engine(1 << 14);
+    ThreadEngine engine{ExchangeConfig{}};
     OperatorConfig cfg;
     cfg.spec = MakeEquiJoin(0, 0);
     cfg.machines = 8;

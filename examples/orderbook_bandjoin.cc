@@ -29,7 +29,12 @@ int main() {
            buy.Int64(kQtyCol) >= sell.Int64(kQtyCol) / 2;
   };
 
-  ThreadEngine engine(1 << 14);
+  // Batched exchange plane: 128-tuple batches, 64-batch credit windows per
+  // edge — a slow joiner backpressures only its own upstream edges.
+  ExchangeConfig exchange;
+  exchange.batch_size = 128;
+  exchange.ring_slots = 64;
+  ThreadEngine engine(exchange);
   OperatorConfig config;
   config.spec = spec;
   config.machines = 8;
@@ -78,6 +83,13 @@ int main() {
   std::printf("per-joiner input:    min %.0f KB, max %.0f KB (balanced "
               "despite the hot price band)\n",
               min_in / 1024.0, max_in / 1024.0);
+  ExchangeStatsSnapshot xchg = engine.exchange_stats();
+  std::printf("exchange plane:      %llu envelopes in %llu batches "
+              "(avg fill %.1f), %llu credit stalls\n",
+              static_cast<unsigned long long>(xchg.envelopes),
+              static_cast<unsigned long long>(xchg.batches),
+              xchg.avg_batch_fill,
+              static_cast<unsigned long long>(xchg.credit_waits));
   engine.Shutdown();
   return 0;
 }

@@ -6,6 +6,15 @@
 
 namespace ajoin {
 
+/// Monotonic wall-clock micros — the shared time source of the threaded
+/// engine and the exchange plane's deadline flushes.
+inline uint64_t SteadyNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 class Stopwatch {
  public:
   Stopwatch() { Restart(); }

@@ -1,0 +1,86 @@
+// Bounded lock-free SPSC ring of TupleBatches — one ring per
+// producer→consumer edge, so the per-edge FIFO guarantee the migration
+// protocol relies on is structural. Fan-in happens at the consumer, which
+// round-robins over its incoming rings.
+//
+// Classic Lamport ring with cached opposite-side indexes: the producer only
+// re-reads `head_` (a cache-coherence miss) when its cached copy says the
+// ring looks full, and the consumer only re-reads `tail_` when it looks
+// empty, so steady-state push/pop touch a single shared cache line each.
+//
+// The ring's capacity is also the edge's credit window: TryPush failing means
+// the producer has exhausted its credits and must wait for the consumer to
+// return some (pop batches) — see ExchangePlane for the blocking policy.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/exchange/tuple_batch.h"
+
+namespace ajoin {
+
+class BatchRing {
+ public:
+  /// `slots` is rounded up to a power of two (min 2).
+  explicit BatchRing(size_t slots) {
+    size_t cap = 2;
+    while (cap < slots) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  BatchRing(const BatchRing&) = delete;
+  BatchRing& operator=(const BatchRing&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Moves from `batch` and returns true on success; leaves
+  /// `batch` untouched and returns false when out of credits (ring full).
+  bool TryPush(TupleBatch& batch) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(batch);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool TryPop(TupleBatch* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate (any thread); exact when the other side is idle.
+  size_t SlotsUsed() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+
+  bool ProbablyEmpty() const { return SlotsUsed() == 0; }
+  bool ProbablyFull() const { return SlotsUsed() >= slots_.size(); }
+
+ private:
+  std::vector<TupleBatch> slots_;
+  size_t mask_ = 0;
+  // Producer-owned line: tail index plus the producer's cached head.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t head_cache_ = 0;
+  // Consumer-owned line: head index plus the consumer's cached tail.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t tail_cache_ = 0;
+};
+
+}  // namespace ajoin

@@ -1,0 +1,275 @@
+#include "src/exchange/exchange.h"
+
+#include <thread>
+
+#include "src/common/status.h"
+#include "src/common/stopwatch.h"
+
+namespace ajoin {
+
+namespace {
+/// How long a parked thread sleeps before re-checking on its own. The
+/// doorbell/credit protocols notify on the fast path; the timeout only
+/// bounds the cost of a lost wakeup race.
+constexpr std::chrono::milliseconds kParkTimeout{1};
+}  // namespace
+
+ExchangePlane::ExchangePlane(size_t num_tasks, const ExchangeConfig& config)
+    : num_tasks_(num_tasks),
+      config_(config),
+      edge_matrix_((num_tasks + 1) * num_tasks),
+      inboxes_(num_tasks),
+      outboxes_(num_tasks + 1) {
+  AJOIN_CHECK_MSG(config.batch_size >= 1, "batch_size must be >= 1");
+  for (Inbox& inbox : inboxes_) {
+    // Reserved so concurrent readers of edges[i < n_edges] never observe a
+    // reallocation.
+    inbox.edges.reserve(num_tasks + 1);
+  }
+  for (size_t p = 0; p <= num_tasks; ++p) {
+    outboxes_[p].plane_ = this;
+    outboxes_[p].producer_ = p;
+    outboxes_[p].edges_.resize(num_tasks);
+  }
+}
+
+ExchangePlane::~ExchangePlane() {
+  for (std::atomic<Edge*>& slot : edge_matrix_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+uint64_t ExchangePlane::NowMicros() { return SteadyNowMicros(); }
+
+ExchangePlane::Edge* ExchangePlane::GetEdge(size_t producer, int consumer) {
+  std::atomic<Edge*>& slot =
+      edge_matrix_[producer * num_tasks_ + static_cast<size_t>(consumer)];
+  Edge* edge = slot.load(std::memory_order_acquire);
+  if (edge != nullptr) return edge;
+  // Only this producer's thread creates this edge, so there is no creation
+  // race on the slot; registration into the inbox is what needs the lock.
+  const bool bounded = producer == num_tasks_ ||
+                       static_cast<int>(producer) < consumer;
+  edge = new Edge(config_.ring_slots, bounded);
+  Inbox& inbox = inboxes_[static_cast<size_t>(consumer)];
+  {
+    std::lock_guard<std::mutex> lock(inbox.reg_mu);
+    inbox.edges.push_back(edge);
+    inbox.n_edges.store(inbox.edges.size(), std::memory_order_release);
+  }
+  slot.store(edge, std::memory_order_release);
+  return edge;
+}
+
+void ExchangePlane::Doorbell(int consumer) {
+  Inbox& inbox = inboxes_[static_cast<size_t>(consumer)];
+  if (inbox.sleeping.load(std::memory_order_seq_cst) != 0) {
+    std::lock_guard<std::mutex> lock(inbox.sleep_mu);
+    inbox.sleep_cv.notify_one();
+  }
+}
+
+void ExchangePlane::PushBatch(Edge& edge, TupleBatch& batch, int consumer) {
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.envelopes.fetch_add(batch.size(), std::memory_order_relaxed);
+  if (edge.bounded) {
+    if (!edge.ring.TryPush(batch)) {
+      // Out of credits: backpressure. Make sure the consumer is awake (our
+      // earlier pushes may be what it is sleeping on), then wait for it to
+      // return credits by consuming.
+      stats_.credit_waits.fetch_add(1, std::memory_order_relaxed);
+      Doorbell(consumer);
+      int spins = 0;
+      while (!edge.ring.TryPush(batch)) {
+        if (++spins <= 4) {
+          std::this_thread::yield();
+          continue;
+        }
+        edge.producer_waiting.store(true, std::memory_order_seq_cst);
+        if (edge.ring.ProbablyFull() &&
+            !closed_.load(std::memory_order_acquire)) {
+          std::unique_lock<std::mutex> lock(edge.credit_mu);
+          edge.credit_cv.wait_for(lock, kParkTimeout);
+        }
+        edge.producer_waiting.store(false, std::memory_order_relaxed);
+      }
+    }
+    Doorbell(consumer);
+    return;
+  }
+  // Unbounded edge: ring while the overflow lane is empty (FIFO invariant:
+  // everything in overflow is younger than everything in the ring), else
+  // spill. Never blocks — see the deadlock-freedom argument in the header.
+  if (edge.ov_count.load(std::memory_order_relaxed) == 0 &&
+      edge.ring.TryPush(batch)) {
+    Doorbell(consumer);
+    return;
+  }
+  stats_.overflow_batches.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(edge.ov_mu);
+    edge.overflow.push_back(std::move(batch));
+    edge.ov_count.fetch_add(1, std::memory_order_release);
+  }
+  Doorbell(consumer);
+}
+
+bool ExchangePlane::PopAny(int consumer, size_t* rr_cursor, TupleBatch* out) {
+  Inbox& inbox = inboxes_[static_cast<size_t>(consumer)];
+  const size_t n = inbox.n_edges.load(std::memory_order_acquire);
+  if (n == 0) return false;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t at = (*rr_cursor + i) % n;
+    Edge& edge = *inbox.edges[at];
+    if (edge.ring.TryPop(out)) {
+      *rr_cursor = (at + 1) % n;
+      if (edge.bounded &&
+          edge.producer_waiting.load(std::memory_order_seq_cst)) {
+        // Credits returned: wake the blocked producer. Taking the mutex
+        // pairs with its wait_for, closing the notify/wait race.
+        std::lock_guard<std::mutex> lock(edge.credit_mu);
+        edge.credit_cv.notify_one();
+      }
+      return true;
+    }
+    if (!edge.bounded && edge.ov_count.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> lock(edge.ov_mu);
+      if (!edge.overflow.empty()) {
+        *out = std::move(edge.overflow.front());
+        edge.overflow.pop_front();
+        edge.ov_count.fetch_sub(1, std::memory_order_release);
+        *rr_cursor = (at + 1) % n;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool ExchangePlane::HasWork(int consumer) const {
+  const Inbox& inbox = inboxes_[static_cast<size_t>(consumer)];
+  const size_t n = inbox.n_edges.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    const Edge& edge = *inbox.edges[i];
+    if (!edge.ring.ProbablyEmpty()) return true;
+    if (!edge.bounded && edge.ov_count.load(std::memory_order_acquire) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ExchangePlane::WaitForWork(int consumer) {
+  Inbox& inbox = inboxes_[static_cast<size_t>(consumer)];
+  inbox.sleeping.store(1, std::memory_order_seq_cst);
+  // Re-check after announcing: a producer that pushed before seeing
+  // sleeping==1 is caught here; one that pushes after will ring the bell.
+  if (HasWork(consumer) || closed()) {
+    inbox.sleeping.store(0, std::memory_order_relaxed);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(inbox.sleep_mu);
+    inbox.sleep_cv.wait_for(lock, kParkTimeout);
+  }
+  inbox.sleeping.store(0, std::memory_order_relaxed);
+}
+
+void ExchangePlane::Close() {
+  closed_.store(true, std::memory_order_release);
+  for (Inbox& inbox : inboxes_) {
+    std::lock_guard<std::mutex> lock(inbox.sleep_mu);
+    inbox.sleep_cv.notify_all();
+  }
+  for (std::atomic<Edge*>& slot : edge_matrix_) {
+    Edge* edge = slot.load(std::memory_order_acquire);
+    if (edge != nullptr && edge->bounded) {
+      std::lock_guard<std::mutex> lock(edge->credit_mu);
+      edge->credit_cv.notify_all();
+    }
+  }
+}
+
+ExchangeStatsSnapshot ExchangePlane::stats() const {
+  ExchangeStatsSnapshot snap;
+  snap.envelopes = stats_.envelopes.load(std::memory_order_relaxed);
+  snap.batches = stats_.batches.load(std::memory_order_relaxed);
+  snap.size_flushes = stats_.size_flushes.load(std::memory_order_relaxed);
+  snap.deadline_flushes =
+      stats_.deadline_flushes.load(std::memory_order_relaxed);
+  snap.control_flushes = stats_.control_flushes.load(std::memory_order_relaxed);
+  snap.credit_waits = stats_.credit_waits.load(std::memory_order_relaxed);
+  snap.overflow_batches =
+      stats_.overflow_batches.load(std::memory_order_relaxed);
+  snap.avg_batch_fill =
+      snap.batches == 0
+          ? 0
+          : static_cast<double>(snap.envelopes) /
+                static_cast<double>(snap.batches);
+  return snap;
+}
+
+// ------------------------------------------------------------------ Outbox --
+
+void ExchangePlane::Outbox::Send(int to, Envelope&& msg, uint64_t now_hint_us) {
+  PerEdge& pe = edges_[static_cast<size_t>(to)];
+  if (pe.edge == nullptr) pe.edge = plane_->GetEdge(producer_, to);
+  if (IsControlMsg(msg.type)) {
+    // Control cuts the batch: flush buffered data first so the control
+    // message keeps its FIFO position on the edge, then ship it alone.
+    if (!pe.pending.empty()) {
+      plane_->stats_.control_flushes.fetch_add(1, std::memory_order_relaxed);
+      FlushEdge(pe, to);
+    }
+    TupleBatch single(std::move(msg));
+    plane_->PushBatch(*pe.edge, single, to);
+    return;
+  }
+  if (pe.pending.empty()) {
+    pe.pending.items.reserve(plane_->config_.batch_size);
+    const uint64_t now = now_hint_us != 0 ? now_hint_us : NowMicros();
+    pe.pending.first_buffered_us = now;
+    const uint64_t due = now + plane_->config_.flush_deadline_us;
+    if (next_deadline_check_us_ == 0 || due < next_deadline_check_us_) {
+      next_deadline_check_us_ = due;
+    }
+  }
+  pe.pending.Add(std::move(msg));
+  if (pe.pending.size() >= plane_->config_.batch_size) {
+    plane_->stats_.size_flushes.fetch_add(1, std::memory_order_relaxed);
+    FlushEdge(pe, to);
+  }
+}
+
+void ExchangePlane::Outbox::FlushEdge(PerEdge& pe, int consumer) {
+  plane_->PushBatch(*pe.edge, pe.pending, consumer);
+  pe.pending.Clear();
+}
+
+void ExchangePlane::Outbox::FlushAll() {
+  for (size_t to = 0; to < edges_.size(); ++to) {
+    PerEdge& pe = edges_[to];
+    if (!pe.pending.empty()) FlushEdge(pe, static_cast<int>(to));
+  }
+  next_deadline_check_us_ = 0;
+}
+
+void ExchangePlane::Outbox::FlushExpired(uint64_t now_us) {
+  if (next_deadline_check_us_ == 0 || now_us < next_deadline_check_us_) return;
+  const uint64_t deadline = plane_->config_.flush_deadline_us;
+  uint64_t next = 0;
+  for (size_t to = 0; to < edges_.size(); ++to) {
+    PerEdge& pe = edges_[to];
+    if (pe.pending.empty()) continue;
+    if (now_us - pe.pending.first_buffered_us >= deadline) {
+      plane_->stats_.deadline_flushes.fetch_add(1, std::memory_order_relaxed);
+      FlushEdge(pe, static_cast<int>(to));
+    } else {
+      const uint64_t due = pe.pending.first_buffered_us + deadline;
+      if (next == 0 || due < next) next = due;
+    }
+  }
+  next_deadline_check_us_ = next;
+}
+
+}  // namespace ajoin

@@ -1,0 +1,199 @@
+// ExchangePlane: the threaded runtime's data plane. One bounded lock-free
+// SPSC BatchRing per producer→consumer edge (fan-in at the consumer), a
+// per-edge Batcher that flushes on size, deadline, or control-message cut,
+// and credit-based backpressure: the ring's capacity is the edge's credit
+// window, so a slow consumer stalls only the producers feeding it instead of
+// the whole driver (which the old global max_inflight throttle did).
+//
+// Blocking policy (deadlock freedom by resource ordering): a producer may
+// block waiting for credits only on edges to *higher* task ids — which covers
+// the natural downstream direction driver → reshuffler → joiner — plus all
+// external (driver) edges, which are the system's strictly bounded ingress.
+// Lateral and upstream edges (joiner→joiner migration traffic against id
+// order, joiner→controller acks) never block: when out of credits they spill
+// to an unbounded per-edge overflow lane that drains FIFO behind the ring.
+// Any wait-for cycle would need an edge against id order, and those never
+// wait, so the wait-for graph is acyclic; boundedness is enforced end-to-end
+// at the ingress edges (overflow volume is bounded by the in-flight credit
+// window times the operator's per-tuple fan-out, and by migrated state size
+// during a migration).
+//
+// FIFO: per-edge order is structural (one SPSC ring per edge; the overflow
+// lane is strictly younger than the ring because a producer only bypasses to
+// overflow while the ring is full, and only returns to the ring once its
+// overflow has fully drained). Cross-edge arrival order at a consumer is
+// unspecified, exactly as with the legacy mutex channels — the migration
+// protocol only relies on per-edge FIFO.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/exchange/batch_ring.h"
+#include "src/exchange/tuple_batch.h"
+
+namespace ajoin {
+
+struct ExchangeConfig {
+  /// Envelopes buffered per edge before a size flush. 1 = per-tuple exchange
+  /// (every envelope ships as its own batch).
+  uint32_t batch_size = 128;
+  /// Per-edge credit window in batches (rounded up to a power of two).
+  uint32_t ring_slots = 64;
+  /// Max time a buffered envelope may wait before a deadline flush. Workers
+  /// check after every processed batch and flush everything whenever their
+  /// inbox runs dry; the ingress (driver) side checks on every Post and at
+  /// WaitQuiescent.
+  uint64_t flush_deadline_us = 200;
+};
+
+/// Point-in-time counters (aggregated across all edges).
+struct ExchangeStatsSnapshot {
+  uint64_t envelopes = 0;
+  uint64_t batches = 0;
+  uint64_t size_flushes = 0;
+  uint64_t deadline_flushes = 0;
+  uint64_t control_flushes = 0;  // data batches cut by a control message
+  uint64_t credit_waits = 0;     // bounded pushes that found the ring full
+  uint64_t overflow_batches = 0; // batches routed via an overflow lane
+  double avg_batch_fill = 0;     // envelopes / batches
+};
+
+class ExchangePlane {
+ public:
+  /// `num_tasks` consumers; producer ids are [0, num_tasks] where id
+  /// num_tasks is the external driver.
+  ExchangePlane(size_t num_tasks, const ExchangeConfig& config);
+  ~ExchangePlane();
+
+  ExchangePlane(const ExchangePlane&) = delete;
+  ExchangePlane& operator=(const ExchangePlane&) = delete;
+
+  size_t external_producer() const { return num_tasks_; }
+
+ private:
+  struct Edge;  // defined below; PerEdge holds pointers to it
+
+ public:
+  /// Per-producer send side. NOT thread-safe: each outbox is owned by its
+  /// producer's thread (the engine serializes the external one).
+  class Outbox {
+   public:
+    /// Buffers (or immediately ships, for control types) one envelope.
+    /// `now_hint_us` of 0 (the production path) means "read the clock
+    /// lazily, once per batch start"; callers that already hold a timestamp
+    /// (tests, future batch-aware drivers) can pass it to skip that read.
+    void Send(int to, Envelope&& msg, uint64_t now_hint_us = 0);
+
+    /// Ships every buffered batch.
+    void FlushAll();
+
+    /// Ships batches whose first envelope has waited past the deadline.
+    /// Cheap no-op until the earliest pending deadline is actually due.
+    void FlushExpired(uint64_t now_us);
+
+    /// True if any edge has a buffered (unflushed) batch. Lets callers skip
+    /// the clock read FlushExpired would need.
+    bool has_pending() const { return next_deadline_check_us_ != 0; }
+
+   private:
+    friend class ExchangePlane;
+    struct PerEdge {
+      Edge* edge = nullptr;  // lazily resolved
+      TupleBatch pending;
+    };
+
+    void FlushEdge(PerEdge& pe, int consumer);
+
+    ExchangePlane* plane_ = nullptr;
+    size_t producer_ = 0;
+    std::vector<PerEdge> edges_;          // indexed by consumer id
+    uint64_t next_deadline_check_us_ = 0; // 0 = nothing pending
+  };
+
+  Outbox* outbox(size_t producer) { return &outboxes_[producer]; }
+
+  // ---- consumer side (each called only from that consumer's thread) ----
+
+  /// Round-robin pop across the consumer's incoming edges. Returns credits
+  /// to (and wakes) a producer blocked on the popped edge.
+  bool PopAny(int consumer, size_t* rr_cursor, TupleBatch* out);
+
+  /// True if any incoming edge has a batch ready.
+  bool HasWork(int consumer) const;
+
+  /// Parks the consumer until a producer rings its doorbell (bounded by a
+  /// short timeout so a lost race costs at most one period). Returns
+  /// immediately if work is already visible or the plane is closed.
+  void WaitForWork(int consumer);
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Marks the plane closed and wakes every parked consumer/producer. Call
+  /// only when quiescent (nothing buffered or in flight).
+  void Close();
+
+  ExchangeStatsSnapshot stats() const;
+
+ private:
+  friend class Outbox;
+
+  struct Edge {
+    Edge(size_t slots, bool bounded_in) : ring(slots), bounded(bounded_in) {}
+
+    BatchRing ring;
+    /// Bounded edges (to a higher task id, or from the external driver)
+    /// block for credits; unbounded edges spill to the overflow lane.
+    const bool bounded;
+
+    // Overflow lane (unbounded edges), FIFO behind the ring.
+    std::mutex ov_mu;
+    std::deque<TupleBatch> overflow;
+    std::atomic<size_t> ov_count{0};
+
+    // Credit wait (bounded edges).
+    std::atomic<bool> producer_waiting{false};
+    std::mutex credit_mu;
+    std::condition_variable credit_cv;
+  };
+
+  struct Inbox {
+    std::mutex reg_mu;           // guards edge registration (writers)
+    std::vector<Edge*> edges;    // reserved up front: never reallocates
+    std::atomic<size_t> n_edges{0};
+    std::atomic<int> sleeping{0};
+    std::mutex sleep_mu;
+    std::condition_variable sleep_cv;
+  };
+
+  struct Stats {
+    std::atomic<uint64_t> envelopes{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> size_flushes{0};
+    std::atomic<uint64_t> deadline_flushes{0};
+    std::atomic<uint64_t> control_flushes{0};
+    std::atomic<uint64_t> credit_waits{0};
+    std::atomic<uint64_t> overflow_batches{0};
+  };
+
+  Edge* GetEdge(size_t producer, int consumer);
+  void PushBatch(Edge& edge, TupleBatch& batch, int consumer);
+  void Doorbell(int consumer);
+  static uint64_t NowMicros();
+
+  const size_t num_tasks_;
+  const ExchangeConfig config_;
+  std::vector<std::atomic<Edge*>> edge_matrix_;  // (num_tasks_+1) x num_tasks_
+  std::vector<Inbox> inboxes_;
+  std::vector<Outbox> outboxes_;
+  std::atomic<bool> closed_{false};
+  Stats stats_;
+};
+
+}  // namespace ajoin

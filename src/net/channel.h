@@ -1,5 +1,14 @@
-// Blocking MPSC channel used by the threaded engine. FIFO per channel — the
-// delivery-order guarantee the migration protocol's flush markers rely on.
+// Blocking MPSC channel used by the threaded engine's legacy exchange mode.
+// FIFO per channel — the delivery-order guarantee the migration protocol's
+// flush markers rely on. (The default batched mode lives in src/exchange/.)
+//
+// Close/drain contract: Close() marks the channel closed; Pop() keeps
+// returning queued messages until the backlog is drained and only then
+// returns nullopt, so nothing accepted before Close() is lost. Push() after
+// Close() is rejected (returns false and drops the message): the consumer
+// may already have observed "closed and drained" and exited, so a late
+// enqueue could never be delivered — rejecting it makes that explicit
+// instead of silently stranding the message in the queue.
 
 #pragma once
 
@@ -15,13 +24,17 @@ namespace ajoin {
 class Channel {
  public:
   /// Enqueues a message. Never blocks (unbounded; the driver throttles at
-  /// the source so in-flight volume stays bounded).
-  void Push(Envelope&& msg) {
+  /// the source so in-flight volume stays bounded). Returns false — and
+  /// drops the message — if the channel was already closed (see the
+  /// close/drain contract above).
+  bool Push(Envelope&& msg) {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
       queue_.push_back(std::move(msg));
     }
     cv_.notify_one();
+    return true;
   }
 
   /// Blocks until a message is available or the channel is closed.

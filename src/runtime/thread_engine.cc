@@ -1,21 +1,49 @@
 #include "src/runtime/thread_engine.h"
 
-#include <chrono>
-
 #include "src/common/status.h"
+#include "src/common/stopwatch.h"
 
 namespace ajoin {
 
-class ThreadEngine::ThreadContext : public Context {
+// Context handed to tasks in batched mode: sends go through the worker's
+// outbox (batched, credit-controlled). In-flight accounting happens here so
+// envelopes buffered in a batcher still count toward quiescence.
+class ThreadEngine::BatchedContext : public Context {
  public:
-  ThreadContext(ThreadEngine* engine, int self) : engine_(engine), self_(self) {}
+  BatchedContext(ThreadEngine* engine, int self, ExchangePlane::Outbox* outbox)
+      : engine_(engine), self_(self), outbox_(outbox) {}
 
   int self() const override { return self_; }
 
   void Send(int to, Envelope msg) override {
     msg.from = self_;
     engine_->IncInflight();
-    engine_->channels_[static_cast<size_t>(to)]->Push(std::move(msg));
+    outbox_->Send(to, std::move(msg));
+  }
+
+  uint64_t NowMicros() const override { return engine_->NowMicros(); }
+
+ private:
+  ThreadEngine* engine_;
+  int self_;
+  ExchangePlane::Outbox* outbox_;
+};
+
+class ThreadEngine::LegacyContext : public Context {
+ public:
+  LegacyContext(ThreadEngine* engine, int self)
+      : engine_(engine), self_(self) {}
+
+  int self() const override { return self_; }
+
+  void Send(int to, Envelope msg) override {
+    msg.from = self_;
+    engine_->IncInflight();
+    // A rejected push (channel already closed) must undo the accounting or
+    // quiescence waits forever on a message that no longer exists.
+    if (!engine_->channels_[static_cast<size_t>(to)]->Push(std::move(msg))) {
+      engine_->DecInflight();
+    }
   }
 
   uint64_t NowMicros() const override { return engine_->NowMicros(); }
@@ -27,32 +55,67 @@ class ThreadEngine::ThreadContext : public Context {
 
 ThreadEngine::~ThreadEngine() { Shutdown(); }
 
-uint64_t ThreadEngine::NowMicros() const {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+uint64_t ThreadEngine::NowMicros() const { return SteadyNowMicros(); }
 
 int ThreadEngine::AddTask(std::unique_ptr<Task> task) {
   AJOIN_CHECK_MSG(!started_, "AddTask after Start");
   tasks_.push_back(std::move(task));
-  channels_.push_back(std::make_unique<Channel>());
+  if (mode_ == ExchangeMode::kLegacyChannel) {
+    channels_.push_back(std::make_unique<Channel>());
+  }
   return static_cast<int>(tasks_.size()) - 1;
 }
 
 void ThreadEngine::Start() {
   AJOIN_CHECK_MSG(!started_, "double Start");
   started_ = true;
+  if (mode_ == ExchangeMode::kBatched) {
+    plane_ =
+        std::make_unique<ExchangePlane>(tasks_.size(), exchange_config_);
+  }
   workers_.reserve(tasks_.size());
   for (size_t i = 0; i < tasks_.size(); ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(static_cast<int>(i)); });
+    workers_.emplace_back([this, i] {
+      if (mode_ == ExchangeMode::kBatched) {
+        WorkerLoop(static_cast<int>(i));
+      } else {
+        LegacyWorkerLoop(static_cast<int>(i));
+      }
+    });
   }
 }
 
 void ThreadEngine::WorkerLoop(int id) {
+  ExchangePlane::Outbox* outbox = plane_->outbox(static_cast<size_t>(id));
+  BatchedContext ctx(this, id, outbox);
+  Task* task = tasks_[static_cast<size_t>(id)].get();
+  size_t cursor = 0;
+  TupleBatch batch;
+  while (true) {
+    if (plane_->PopAny(id, &cursor, &batch)) {
+      const uint64_t n = batch.size();
+      for (Envelope& msg : batch.items) {
+        task->OnMessage(std::move(msg), ctx);
+      }
+      batch.Clear();
+      DecInflight(n);
+      // One clock read per processed batch drives the deadline flushes
+      // (skipped entirely while nothing is buffered).
+      if (outbox->has_pending()) outbox->FlushExpired(NowMicros());
+      continue;
+    }
+    // Inbox ran dry: publish everything we have buffered before parking, so
+    // counted-but-buffered envelopes always drain (quiescence correctness).
+    outbox->FlushAll();
+    if (plane_->HasWork(id)) continue;
+    if (plane_->closed()) return;
+    plane_->WaitForWork(id);
+  }
+}
+
+void ThreadEngine::LegacyWorkerLoop(int id) {
   Channel& channel = *channels_[static_cast<size_t>(id)];
-  ThreadContext ctx(this, id);
+  LegacyContext ctx(this, id);
   while (true) {
     std::optional<Envelope> msg = channel.Pop();
     if (!msg.has_value()) return;  // closed and drained
@@ -61,22 +124,40 @@ void ThreadEngine::WorkerLoop(int id) {
   }
 }
 
-void ThreadEngine::IncInflight() {
-  inflight_.fetch_add(1, std::memory_order_relaxed);
+void ThreadEngine::IncInflight(uint64_t n) {
+  inflight_.fetch_add(n, std::memory_order_relaxed);
 }
 
-void ThreadEngine::DecInflight() {
-  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+void ThreadEngine::DecInflight(uint64_t n) {
+  if (inflight_.fetch_sub(n, std::memory_order_acq_rel) == n) {
     std::lock_guard<std::mutex> lock(idle_mu_);
     idle_cv_.notify_all();
     throttle_cv_.notify_all();
-  } else if (inflight_.load(std::memory_order_relaxed) < max_inflight_) {
+  } else if (mode_ == ExchangeMode::kLegacyChannel &&
+             inflight_.load(std::memory_order_relaxed) < max_inflight_) {
     throttle_cv_.notify_one();
   }
 }
 
 void ThreadEngine::Post(int to, Envelope msg) {
   AJOIN_CHECK_MSG(started_, "Post before Start");
+  if (mode_ == ExchangeMode::kBatched) {
+    // Per-edge credit backpressure: Send blocks (inside the plane) only when
+    // the specific ingress edge is out of credits. Serializing posters under
+    // ingress_mu_ keeps the external outbox single-producer.
+    std::lock_guard<std::mutex> lock(ingress_mu_);
+    IncInflight();
+    ExchangePlane::Outbox* outbox = plane_->outbox(plane_->external_producer());
+    outbox->Send(to, std::move(msg));
+    // Amortized deadline sweep: one clock read every 8 posts-with-backlog
+    // (plus the lazy read Send does when it starts a batch) instead of one
+    // per post. Bounds deadline staleness to 8 posts; WaitQuiescent flushes
+    // whatever a stalled source leaves behind.
+    if (outbox->has_pending() && (++ingress_posts_ & 7u) == 0) {
+      outbox->FlushExpired(NowMicros());
+    }
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(idle_mu_);
     throttle_cv_.wait(lock, [this] {
@@ -84,10 +165,29 @@ void ThreadEngine::Post(int to, Envelope msg) {
     });
   }
   IncInflight();
-  channels_[static_cast<size_t>(to)]->Push(std::move(msg));
+  if (!channels_[static_cast<size_t>(to)]->Push(std::move(msg))) {
+    DecInflight();
+  }
 }
 
 void ThreadEngine::WaitQuiescent() {
+  if (mode_ == ExchangeMode::kBatched && plane_ != nullptr) {
+    // Re-flush the ingress outbox periodically while waiting: another
+    // thread may Post (and buffer) after our flush, and nothing else ever
+    // ships the external outbox's partial batches.
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(ingress_mu_);
+        plane_->outbox(plane_->external_producer())->FlushAll();
+      }
+      std::unique_lock<std::mutex> lock(idle_mu_);
+      if (idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+            return inflight_.load(std::memory_order_acquire) == 0;
+          })) {
+        return;
+      }
+    }
+  }
   std::unique_lock<std::mutex> lock(idle_mu_);
   idle_cv_.wait(lock, [this] {
     return inflight_.load(std::memory_order_acquire) == 0;
@@ -98,8 +198,17 @@ void ThreadEngine::Shutdown() {
   if (!started_ || shut_down_) return;
   shut_down_ = true;
   WaitQuiescent();
-  for (auto& channel : channels_) channel->Close();
+  if (mode_ == ExchangeMode::kBatched) {
+    plane_->Close();
+  } else {
+    for (auto& channel : channels_) channel->Close();
+  }
   for (auto& worker : workers_) worker.join();
+}
+
+ExchangeStatsSnapshot ThreadEngine::exchange_stats() const {
+  if (plane_ == nullptr) return ExchangeStatsSnapshot{};
+  return plane_->stats();
 }
 
 }  // namespace ajoin

@@ -1,7 +1,22 @@
-// Multithreaded engine: one worker thread per task, FIFO channels, and
-// quiescence detection via an in-flight message counter. Used for real
-// concurrency runs (protocol validation under nondeterministic schedules,
-// wall-clock measurements in examples).
+// Multithreaded engine: one worker thread per task. Two exchange planes sit
+// behind the same Engine interface:
+//
+//  - kBatched (default): the src/exchange/ data plane — per-edge bounded
+//    lock-free SPSC rings carrying TupleBatches, with size/deadline/control
+//    batching and credit-based backpressure. A slow joiner stalls only the
+//    edges feeding it; the driver blocks only when the specific ingress edge
+//    it is posting on is out of credits.
+//
+//  - kLegacyChannel: the original per-tuple mutex+deque Channel per task,
+//    with a single global max_inflight throttle on Post(). Kept as the
+//    per-tuple baseline for benchmarks and as a second plane every protocol
+//    test can run against.
+//
+// Quiescence is detected the same way in both modes: an in-flight envelope
+// counter incremented at send (including envelopes still buffered in a
+// batcher) and decremented after OnMessage — batched mode decrements once
+// per batch. Workers flush their own outboxes whenever their inbox runs dry,
+// so counted-but-buffered envelopes always drain.
 
 #pragma once
 
@@ -12,16 +27,28 @@
 #include <thread>
 #include <vector>
 
+#include "src/exchange/exchange.h"
 #include "src/net/channel.h"
 #include "src/runtime/task.h"
 
 namespace ajoin {
 
+enum class ExchangeMode { kBatched, kLegacyChannel };
+
 class ThreadEngine : public Engine {
  public:
-  /// max_inflight throttles external Post() calls (workers never block).
-  explicit ThreadEngine(size_t max_inflight = 1 << 16)
-      : max_inflight_(max_inflight) {}
+  /// Batched exchange with default config.
+  ThreadEngine() : ThreadEngine(ExchangeConfig{}) {}
+
+  /// Batched exchange with explicit batching/credit config.
+  explicit ThreadEngine(const ExchangeConfig& config)
+      : mode_(ExchangeMode::kBatched), exchange_config_(config) {}
+
+  /// Legacy mutex-channel plane; max_inflight globally throttles external
+  /// Post() calls (workers never block).
+  explicit ThreadEngine(size_t max_inflight)
+      : mode_(ExchangeMode::kLegacyChannel), max_inflight_(max_inflight) {}
+
   ~ThreadEngine() override;
 
   int AddTask(std::unique_ptr<Task> task) override;
@@ -32,23 +59,39 @@ class ThreadEngine : public Engine {
   Task* task(int id) override { return tasks_[static_cast<size_t>(id)].get(); }
   uint64_t NowMicros() const override;
 
+  ExchangeMode mode() const { return mode_; }
+  /// Exchange-plane counters (all zero in legacy mode).
+  ExchangeStatsSnapshot exchange_stats() const;
+
  private:
-  class ThreadContext;
+  class BatchedContext;
+  class LegacyContext;
 
   void WorkerLoop(int id);
-  void IncInflight();
-  void DecInflight();
+  void LegacyWorkerLoop(int id);
+  void IncInflight(uint64_t n = 1);
+  void DecInflight(uint64_t n = 1);
 
-  size_t max_inflight_;
+  const ExchangeMode mode_;
+  ExchangeConfig exchange_config_;
+  size_t max_inflight_ = 1 << 16;  // legacy mode only
+
   std::vector<std::unique_ptr<Task>> tasks_;
-  std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> inflight_{0};
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;
-  std::condition_variable throttle_cv_;
   bool started_ = false;
   bool shut_down_ = false;
+
+  // Batched plane.
+  std::unique_ptr<ExchangePlane> plane_;
+  std::mutex ingress_mu_;  // serializes external Post()/flush on the plane
+  uint64_t ingress_posts_ = 0;  // guarded by ingress_mu_
+
+  // Legacy plane.
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::condition_variable throttle_cv_;
 };
 
 }  // namespace ajoin

@@ -100,33 +100,45 @@ TEST(SimEngine, DeterministicDispatchCount) {
   EXPECT_GT(a, 10u);
 }
 
+// Both exchange planes of the threaded engine must honor the same Engine
+// contract; a default-constructed ThreadEngine is the batched plane, a
+// max_inflight one is the legacy mutex-channel plane.
+std::unique_ptr<ThreadEngine> MakeThreadEngine(bool batched) {
+  if (batched) return std::make_unique<ThreadEngine>();
+  return std::make_unique<ThreadEngine>(/*max_inflight=*/size_t{1} << 16);
+}
+
 TEST(ThreadEngine, PerChannelFifo) {
-  ThreadEngine engine;
-  auto* task = new RecorderTask();
-  engine.AddTask(std::unique_ptr<Task>(task));
-  engine.Start();
-  for (uint64_t i = 0; i < 10000; ++i) engine.Post(0, SeqMsg(i));
-  engine.WaitQuiescent();
-  ASSERT_EQ(task->seen().size(), 10000u);
-  for (uint64_t i = 0; i < 10000; ++i) ASSERT_EQ(task->seen()[i], i);
-  engine.Shutdown();
+  for (bool batched : {false, true}) {
+    std::unique_ptr<ThreadEngine> engine = MakeThreadEngine(batched);
+    auto* task = new RecorderTask();
+    engine->AddTask(std::unique_ptr<Task>(task));
+    engine->Start();
+    for (uint64_t i = 0; i < 10000; ++i) engine->Post(0, SeqMsg(i));
+    engine->WaitQuiescent();
+    ASSERT_EQ(task->seen().size(), 10000u) << "batched=" << batched;
+    for (uint64_t i = 0; i < 10000; ++i) ASSERT_EQ(task->seen()[i], i);
+    engine->Shutdown();
+  }
 }
 
 TEST(ThreadEngine, QuiescenceCoversTransitiveSends) {
-  ThreadEngine engine;
-  auto* sink = new RecorderTask();
-  engine.AddTask(std::make_unique<FanoutTask>(0, 1));  // self-recursive
-  engine.AddTask(std::unique_ptr<Task>(sink));         // 1
-  engine.Start();
-  engine.Post(0, SeqMsg(10));
-  engine.WaitQuiescent();
-  // The depth-10 cascade deposits exactly 10 messages (seq 9..0) at the
-  // sink; quiescence must have waited for the whole chain.
-  size_t first = sink->seen().size();
-  EXPECT_EQ(first, 10u);
-  engine.WaitQuiescent();
-  EXPECT_EQ(sink->seen().size(), first);
-  engine.Shutdown();
+  for (bool batched : {false, true}) {
+    std::unique_ptr<ThreadEngine> engine = MakeThreadEngine(batched);
+    auto* sink = new RecorderTask();
+    engine->AddTask(std::make_unique<FanoutTask>(0, 1));  // self-recursive
+    engine->AddTask(std::unique_ptr<Task>(sink));         // 1
+    engine->Start();
+    engine->Post(0, SeqMsg(10));
+    engine->WaitQuiescent();
+    // The depth-10 cascade deposits exactly 10 messages (seq 9..0) at the
+    // sink; quiescence must have waited for the whole chain.
+    size_t first = sink->seen().size();
+    EXPECT_EQ(first, 10u) << "batched=" << batched;
+    engine->WaitQuiescent();
+    EXPECT_EQ(sink->seen().size(), first);
+    engine->Shutdown();
+  }
 }
 
 TEST(ThreadEngine, ThrottleDoesNotDeadlock) {
@@ -143,22 +155,24 @@ TEST(ThreadEngine, ThrottleDoesNotDeadlock) {
 }
 
 TEST(ThreadEngine, ManyTasksShutdownCleanly) {
-  ThreadEngine engine;
-  std::vector<RecorderTask*> tasks;
-  for (int i = 0; i < 64; ++i) {
-    auto* t = new RecorderTask();
-    tasks.push_back(t);
-    engine.AddTask(std::unique_ptr<Task>(t));
+  for (bool batched : {false, true}) {
+    std::unique_ptr<ThreadEngine> engine = MakeThreadEngine(batched);
+    std::vector<RecorderTask*> tasks;
+    for (int i = 0; i < 64; ++i) {
+      auto* t = new RecorderTask();
+      tasks.push_back(t);
+      engine->AddTask(std::unique_ptr<Task>(t));
+    }
+    engine->Start();
+    for (uint64_t i = 0; i < 6400; ++i) {
+      engine->Post(static_cast<int>(i % 64), SeqMsg(i));
+    }
+    engine->WaitQuiescent();
+    size_t total = 0;
+    for (auto* t : tasks) total += t->seen().size();
+    EXPECT_EQ(total, 6400u) << "batched=" << batched;
+    engine->Shutdown();
   }
-  engine.Start();
-  for (uint64_t i = 0; i < 6400; ++i) {
-    engine.Post(static_cast<int>(i % 64), SeqMsg(i));
-  }
-  engine.WaitQuiescent();
-  size_t total = 0;
-  for (auto* t : tasks) total += t->seen().size();
-  EXPECT_EQ(total, 6400u);
-  engine.Shutdown();
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "src/common/random.h"
@@ -56,10 +57,47 @@ std::vector<std::pair<uint64_t, uint64_t>> ReferencePairs(
   return out;
 }
 
+/// Exchange planes every protocol test runs against: the legacy per-tuple
+/// mutex channels, the default batched plane, and a stress config with tiny
+/// batches and a tiny credit window so size flushes, deadline flushes, and
+/// credit stalls all interleave with migrations.
+enum class Plane { kLegacy, kBatched, kBatchedTiny };
+
+const Plane kAllPlanes[] = {Plane::kLegacy, Plane::kBatched,
+                            Plane::kBatchedTiny};
+
+const char* PlaneName(Plane plane) {
+  switch (plane) {
+    case Plane::kLegacy: return "legacy";
+    case Plane::kBatched: return "batched";
+    case Plane::kBatchedTiny: return "batched-tiny";
+  }
+  return "?";
+}
+
+std::unique_ptr<ThreadEngine> MakeEngine(Plane plane) {
+  switch (plane) {
+    case Plane::kLegacy:
+      return std::make_unique<ThreadEngine>(/*max_inflight=*/4096);
+    case Plane::kBatched:
+      return std::make_unique<ThreadEngine>(ExchangeConfig{});
+    case Plane::kBatchedTiny: {
+      ExchangeConfig cfg;
+      cfg.batch_size = 5;
+      cfg.ring_slots = 2;
+      cfg.flush_deadline_us = 50;
+      return std::make_unique<ThreadEngine>(cfg);
+    }
+  }
+  return nullptr;
+}
+
 std::vector<std::pair<uint64_t, uint64_t>> RunThreaded(
     const std::vector<StreamTuple>& stream, const JoinSpec& spec,
-    uint32_t machines, double epsilon, uint64_t* migrations = nullptr) {
-  ThreadEngine engine(/*max_inflight=*/4096);
+    uint32_t machines, double epsilon, uint64_t* migrations = nullptr,
+    Plane plane = Plane::kBatched) {
+  std::unique_ptr<ThreadEngine> engine_ptr = MakeEngine(plane);
+  ThreadEngine& engine = *engine_ptr;
   OperatorConfig cfg;
   cfg.spec = spec;
   cfg.machines = machines;
@@ -83,10 +121,13 @@ std::vector<std::pair<uint64_t, uint64_t>> RunThreaded(
 TEST(OperatorThread, EquiJoinExact) {
   JoinSpec spec = MakeEquiJoin(0, 0);
   auto stream = MakeStream(300, 900, 20, 21);
-  uint64_t migrations = 0;
-  auto got = RunThreaded(stream, spec, 8, 1.0, &migrations);
-  EXPECT_EQ(got, ReferencePairs(stream, spec));
-  EXPECT_GE(migrations, 1u);
+  auto want = ReferencePairs(stream, spec);
+  for (Plane plane : kAllPlanes) {
+    uint64_t migrations = 0;
+    auto got = RunThreaded(stream, spec, 8, 1.0, &migrations, plane);
+    EXPECT_EQ(got, want) << PlaneName(plane);
+    EXPECT_GE(migrations, 1u) << PlaneName(plane);
+  }
 }
 
 TEST(OperatorThread, EquiJoinManySeedsAggressiveEpsilon) {
@@ -94,16 +135,22 @@ TEST(OperatorThread, EquiJoinManySeedsAggressiveEpsilon) {
   JoinSpec spec = MakeEquiJoin(0, 0);
   for (uint64_t seed = 30; seed < 36; ++seed) {
     auto stream = MakeStream(200 + 31 * seed, 500 + 17 * seed, 16, seed);
-    auto got = RunThreaded(stream, spec, 8, 0.25);
-    EXPECT_EQ(got, ReferencePairs(stream, spec)) << "seed " << seed;
+    auto want = ReferencePairs(stream, spec);
+    for (Plane plane : kAllPlanes) {
+      auto got = RunThreaded(stream, spec, 8, 0.25, nullptr, plane);
+      EXPECT_EQ(got, want) << "seed " << seed << " " << PlaneName(plane);
+    }
   }
 }
 
 TEST(OperatorThread, BandJoinExact) {
   JoinSpec spec = MakeBandJoin(0, 0, -1, 1);
   auto stream = MakeStream(250, 750, 60, 22);
-  auto got = RunThreaded(stream, spec, 16, 0.5);
-  EXPECT_EQ(got, ReferencePairs(stream, spec));
+  auto want = ReferencePairs(stream, spec);
+  for (Plane plane : kAllPlanes) {
+    auto got = RunThreaded(stream, spec, 16, 0.5, nullptr, plane);
+    EXPECT_EQ(got, want) << PlaneName(plane);
+  }
 }
 
 TEST(OperatorThread, RowModeResidualPredicate) {
@@ -139,33 +186,38 @@ TEST(OperatorThread, RowModeResidualPredicate) {
   }
   std::sort(want.begin(), want.end());
 
-  ThreadEngine engine(4096);
-  OperatorConfig cfg;
-  cfg.spec = spec;
-  cfg.machines = 8;
-  cfg.adaptive = true;
-  cfg.epsilon = 0.5;
-  cfg.min_total_before_adapt = 16;
-  cfg.collect_pairs = true;
-  cfg.keep_rows = true;
-  JoinOperator op(engine, cfg);
-  engine.Start();
-  for (const StreamTuple& t : stream) op.Push(t);
-  op.SendEos();
-  engine.WaitQuiescent();
-  EXPECT_EQ(op.CollectPairs(), want);
-  engine.Shutdown();
+  for (Plane plane : kAllPlanes) {
+    std::unique_ptr<ThreadEngine> engine = MakeEngine(plane);
+    OperatorConfig cfg;
+    cfg.spec = spec;
+    cfg.machines = 8;
+    cfg.adaptive = true;
+    cfg.epsilon = 0.5;
+    cfg.min_total_before_adapt = 16;
+    cfg.collect_pairs = true;
+    cfg.keep_rows = true;
+    JoinOperator op(*engine, cfg);
+    engine->Start();
+    for (const StreamTuple& t : stream) op.Push(t);
+    op.SendEos();
+    engine->WaitQuiescent();
+    EXPECT_EQ(op.CollectPairs(), want) << PlaneName(plane);
+    engine->Shutdown();
+  }
 }
 
 TEST(OperatorThread, LargerRunWithManyMigrations) {
   JoinSpec spec = MakeEquiJoin(0, 0);
   auto stream = MakeStream(500, 8000, 40, 23);
-  uint64_t migrations = 0;
-  auto got = RunThreaded(stream, spec, 16, 0.5, &migrations);
-  EXPECT_EQ(got, ReferencePairs(stream, spec));
-  // The generalized planner may jump several grid steps in one migration
-  // ((4,4) -> (1,16) directly), so at least one migration is guaranteed.
-  EXPECT_GE(migrations, 1u);
+  auto want = ReferencePairs(stream, spec);
+  for (Plane plane : kAllPlanes) {
+    uint64_t migrations = 0;
+    auto got = RunThreaded(stream, spec, 16, 0.5, &migrations, plane);
+    EXPECT_EQ(got, want) << PlaneName(plane);
+    // The generalized planner may jump several grid steps in one migration
+    // ((4,4) -> (1,16) directly), so at least one migration is guaranteed.
+    EXPECT_GE(migrations, 1u) << PlaneName(plane);
+  }
 }
 
 }  // namespace
