@@ -35,6 +35,58 @@ void JoinerCore::OnMessage(Envelope msg, Context& ctx) {
   }
 }
 
+void JoinerCore::OnBatch(TupleBatch batch, Context& ctx) {
+  // Fall back to per-envelope semantics for everything that is not a
+  // steady-state data batch: control singletons, µ (kMigrate) batches, and
+  // any batch that arrives while a migration is active. A migration cannot
+  // start mid-batch — kReshufSignal is control and therefore always a
+  // singleton batch — so checking migrating_ once up front is sound.
+  if (migrating_ || batch.empty()) {
+    Task::OnBatch(std::move(batch), ctx);
+    return;
+  }
+  const Envelope* first_store = nullptr;
+  for (const Envelope& msg : batch.items) {
+    if (msg.type != MsgType::kData) {
+      Task::OnBatch(std::move(batch), ctx);
+      return;
+    }
+    if (first_store == nullptr && msg.store) first_store = &msg;
+  }
+  // Batches never mix epochs (task.h invariant 3): the per-envelope
+  // admission check hoists to one check per batch, anchored on the first
+  // store tuple (probe-only tuples are not epoch-checked on the
+  // per-envelope path either).
+  if (first_store != nullptr) {
+    AJOIN_CHECK_MSG(first_store->epoch == epoch_,
+                    "new-epoch tuple before its reshuffler signal");
+  }
+  const size_t n = batch.items.size();
+  size_t i = 0;
+  while (i < n) {
+    const Rel rel = batch.items[i].rel;
+    size_t j = i + 1;
+    while (j < n && batch.items[j].rel == rel) ++j;
+    // Probes first: a run's tuples all belong to one relation and probe the
+    // opposite relation's index, so the run's own (deferred) stores can
+    // never be probe candidates for it.
+    for (size_t k = i; k < j; ++k) {
+      const Envelope& msg = batch.items[k];
+      if (msg.store) {
+        metrics_.in_tuples++;
+        metrics_.in_bytes += msg.bytes;
+      }
+      Probe(msg, Scope::kAll, ctx);
+    }
+    // Then the run's inserts, grouped so the index stays hot in cache.
+    for (size_t k = i; k < j; ++k) {
+      const Envelope& msg = batch.items[k];
+      if (msg.store) Store(msg, kOriginData, epoch_);
+    }
+    i = j;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Probe scopes
 // ---------------------------------------------------------------------------

@@ -48,6 +48,20 @@ class JoinerCore : public Task {
 
   void OnMessage(Envelope msg, Context& ctx) override;
 
+  /// Batch store/probe (threaded engine, batched dispatch). Relies on the
+  /// OnBatch invariants (src/runtime/task.h): batches are one edge's FIFO
+  /// run, never mix control with data, and never mix epochs — so for a
+  /// steady-state kData batch the epoch admission check hoists to once per
+  /// batch, and the batch splits into maximal same-relation runs processed
+  /// as a probe loop followed by grouped index inserts (tuples of one
+  /// relation never match each other, so deferring a run's stores behind its
+  /// probes is output-equivalent to the per-envelope interleaving and keeps
+  /// each index's insert path hot). Anything else — control singletons, µ
+  /// batches, or any batch consumed while a migration is active (Δ/Δ'
+  /// scoping and migration bookkeeping stay per-envelope) — falls back to
+  /// the default OnMessage loop.
+  void OnBatch(TupleBatch batch, Context& ctx) override;
+
   const JoinerMetrics& metrics() const { return metrics_; }
   JoinerMetrics& mutable_metrics() { return metrics_; }
   uint64_t output_count() const { return output_count_; }

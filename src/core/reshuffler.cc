@@ -11,8 +11,14 @@ ReshufflerCore::ReshufflerCore(ReshufflerConfig config)
     GroupRoute route;
     route.block = block;
     route.layout = block.initial_layout;
+    route.run_base = run_dest_task_.size();
+    RebuildRouteCache(route);
+    for (uint32_t p = 0; p < block.alloc_machines; ++p) {
+      run_dest_task_.push_back(block.joiner_task_base + static_cast<int>(p));
+    }
     groups_.push_back(std::move(route));
   }
+  runs_.resize(run_dest_task_.size());
   if (config_.is_controller) {
     controller_ = std::make_unique<ControllerCore>(
         config_.controller, config_.num_reshufflers,
@@ -61,6 +67,87 @@ void ReshufflerCore::OnMessage(Envelope msg, Context& ctx) {
     default:
       AJOIN_CHECK_MSG(false, "reshuffler: unexpected message type");
   }
+}
+
+void ReshufflerCore::OnBatch(TupleBatch batch, Context& ctx) {
+  // Only pure input batches take the one-pass routing path. Control arrives
+  // as singleton batches (task.h invariant 3), so in practice this check is
+  // one type compare; a defensive scan keeps any unexpected mix on the
+  // per-envelope path instead of miscategorizing it.
+  for (const Envelope& msg : batch.items) {
+    if (msg.type != MsgType::kInput) {
+      Task::OnBatch(std::move(batch), ctx);
+      return;
+    }
+  }
+  HandleInputBatch(batch, ctx);
+}
+
+void ReshufflerCore::RebuildRouteCache(GroupRoute& g) {
+  const Mapping& map = g.layout.mapping();
+  g.r_targets.assign(map.n, {});
+  for (uint32_t i = 0; i < map.n; ++i) g.r_targets[i] = g.layout.RowMachines(i);
+  g.s_targets.assign(map.m, {});
+  for (uint32_t j = 0; j < map.m; ++j) g.s_targets[j] = g.layout.ColMachines(j);
+}
+
+void ReshufflerCore::HandleInputBatch(TupleBatch& batch, Context& ctx) {
+  for (Envelope& msg : batch.items) {
+    const uint64_t tag = TagForSeq(msg.seq, msg.rel);
+    metrics_.routed_tuples++;
+    if (stats_ != nullptr) stats_->Observe(msg.rel, msg.key, msg.bytes);
+    // Controller duty per tuple, exactly as HandleInput: decisions only take
+    // effect when the kEpochChange loops back through this reshuffler's own
+    // inbox — after this batch — so the mapping is constant batch-wide.
+    if (controller_ != nullptr) {
+      std::vector<EpochSpec> decisions;
+      controller_->OnTuple(msg.rel, msg.bytes, &decisions);
+      Broadcast(decisions, ctx);
+    }
+    const uint32_t storage_group = StorageGroupOf(tag);
+    const size_t last_g = groups_.size() - 1;
+    for (uint32_t g = 0; g < groups_.size(); ++g) {
+      GroupRoute& route = groups_[g];
+      const uint32_t part = route.layout.PartitionFor(msg.rel, tag);
+      const std::vector<uint32_t>& targets =
+          msg.rel == Rel::kR ? route.r_targets[part] : route.s_targets[part];
+      const bool store = g == storage_group;
+      for (size_t t = 0; t < targets.size(); ++t) {
+        Envelope data;
+        if (g == last_g && t + 1 == targets.size()) {
+          data = std::move(msg);  // final replica: steal the payload
+        } else {
+          data = msg;
+        }
+        data.type = MsgType::kData;
+        data.tag = tag;
+        data.epoch = route.epoch;
+        data.group = g;
+        data.store = store;
+        metrics_.sent_msgs++;
+        metrics_.sent_bytes += data.bytes;
+        const size_t slot = route.run_base + targets[t];
+        TupleBatch& run = runs_[slot];
+        if (run.empty()) {
+          touched_runs_.push_back(slot);
+          // The backing vector leaves with SendBatch each batch, so reserve
+          // up front (a run never exceeds the input batch) instead of paying
+          // doubling reallocations on every batch.
+          run.items.reserve(batch.items.size());
+        }
+        run.Add(std::move(data));
+      }
+    }
+  }
+  // Ship each destination's run as a unit. Per-edge order is batch order
+  // (appends above), matching the per-envelope path; and every run leaves
+  // before this call returns, so a later epoch-change signal on the same
+  // edge still trails all data routed under the old mapping.
+  for (const size_t slot : touched_runs_) {
+    ctx.SendBatch(run_dest_task_[slot], std::move(runs_[slot]));
+    runs_[slot].Clear();
+  }
+  touched_runs_.clear();
 }
 
 uint32_t ReshufflerCore::StorageGroupOf(uint64_t tag) const {
@@ -132,6 +219,7 @@ void ReshufflerCore::HandleEpochChange(Envelope& msg, Context& ctx) {
   AJOIN_CHECK_MSG(g.layout.J() <= g.block.alloc_machines,
                   "expansion beyond allocated machine block");
   g.epoch = spec.epoch;
+  RebuildRouteCache(g);
   metrics_.epoch_changes++;
   // Signal every allocated machine of the group (including not-yet-active
   // expansion slots, which track the layout) before any new-epoch tuple.

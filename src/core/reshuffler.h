@@ -55,6 +55,19 @@ class ReshufflerCore : public Task {
 
   void OnMessage(Envelope msg, Context& ctx) override;
 
+  /// Batch routing (threaded engine, batched dispatch). Relies on the
+  /// OnBatch invariants (src/runtime/task.h): the batch is one edge's FIFO
+  /// run and control always arrives as a singleton batch, so a pure-kInput
+  /// batch can be routed in one pass — hash every key, group the resulting
+  /// data envelopes by destination joiner into per-destination runs (using
+  /// the per-partition target table cached per epoch instead of a per-tuple
+  /// layout lookup), and emit each run via Context::SendBatch as a
+  /// pre-formed batch. Routing never changes mid-batch: epoch changes loop
+  /// back through this reshuffler's own inbox, exactly as on the
+  /// per-envelope path. Anything that is not a pure input batch falls back
+  /// to the default per-envelope loop.
+  void OnBatch(TupleBatch batch, Context& ctx) override;
+
   const ReshufflerMetrics& metrics() const { return metrics_; }
   /// Controller introspection (reshuffler 0 only).
   const ControllerCore* controller() const { return controller_.get(); }
@@ -70,20 +83,39 @@ class ReshufflerCore : public Task {
     GroupBlock block;
     GridLayout layout;
     uint32_t epoch = 0;
+    /// Replication targets per partition under the current layout: row
+    /// machines for each R partition, column machines for each S partition.
+    /// Rebuilt on epoch change; lets batch routing amortize the routing
+    /// table to one lookup per (rel, partition) instead of one
+    /// vector-allocating layout query per tuple.
+    std::vector<std::vector<uint32_t>> r_targets;  // mapping().n entries
+    std::vector<std::vector<uint32_t>> s_targets;  // mapping().m entries
+    /// First index of this group's machines in the flattened runs_ scratch.
+    size_t run_base = 0;
   };
 
   void HandleInput(Envelope& msg, Context& ctx);
+  void HandleInputBatch(TupleBatch& batch, Context& ctx);
   void HandleEpochChange(Envelope& msg, Context& ctx);
   void Broadcast(const std::vector<EpochSpec>& specs, Context& ctx);
   void RouteToGroup(const Envelope& msg, uint64_t tag, uint32_t group,
                     bool store, Context& ctx);
   uint32_t StorageGroupOf(uint64_t tag) const;
+  static void RebuildRouteCache(GroupRoute& g);
 
   ReshufflerConfig config_;
   std::vector<GroupRoute> groups_;
   std::unique_ptr<ControllerCore> controller_;
   std::unique_ptr<StreamStats> stats_;
   ReshufflerMetrics metrics_;
+
+  // Batch-routing scratch, reused across batches: one output run per
+  // allocated joiner slot (flattened across group blocks) plus the engine
+  // task id each slot maps to and the list of slots touched by the current
+  // batch.
+  std::vector<TupleBatch> runs_;
+  std::vector<int> run_dest_task_;
+  std::vector<size_t> touched_runs_;
 };
 
 }  // namespace ajoin

@@ -18,7 +18,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/exchange/tuple_batch.h"
+#include "src/net/message.h"
 
 namespace ajoin {
 

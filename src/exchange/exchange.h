@@ -36,7 +36,7 @@
 #include <vector>
 
 #include "src/exchange/batch_ring.h"
-#include "src/exchange/tuple_batch.h"
+#include "src/net/message.h"
 
 namespace ajoin {
 
@@ -51,6 +51,11 @@ struct ExchangeConfig {
   /// inbox runs dry; the ingress (driver) side checks on every Post and at
   /// WaitQuiescent.
   uint64_t flush_deadline_us = 200;
+  /// Consumed by ThreadEngine, not the plane: hand consumed batches to
+  /// Task::OnBatch (true, default) or unpack them into one OnMessage call
+  /// per envelope (false — the per-envelope dispatch baseline the
+  /// fig_exchange_throughput bench measures against).
+  bool batch_dispatch = true;
 };
 
 /// Point-in-time counters (aggregated across all edges).
@@ -91,6 +96,15 @@ class ExchangePlane {
     /// (tests, future batch-aware drivers) can pass it to skip that read.
     void Send(int to, Envelope&& msg, uint64_t now_hint_us = 0);
 
+    /// Ships a pre-formed run of *data* envelopes (precondition: no control
+    /// messages) to one consumer, preserving edge FIFO: a previously
+    /// buffered partial batch is topped up and flushed first, a remainder of
+    /// at least batch_size/2 ships directly as one batch (no move through
+    /// the pending buffer), and a smaller tail is buffered under the usual
+    /// deadline. Amortizes edge resolution and deadline arming over the
+    /// whole run. `run` is consumed (left empty).
+    void SendRun(int to, TupleBatch&& run, uint64_t now_hint_us = 0);
+
     /// Ships every buffered batch.
     void FlushAll();
 
@@ -110,6 +124,9 @@ class ExchangePlane {
     };
 
     void FlushEdge(PerEdge& pe, int consumer);
+    /// Starts a fresh pending batch on an edge: reserves capacity, stamps
+    /// the buffering time, and arms the deadline sweep.
+    void ArmPending(PerEdge& pe, uint64_t now_hint_us);
 
     ExchangePlane* plane_ = nullptr;
     size_t producer_ = 0;

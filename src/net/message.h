@@ -1,10 +1,13 @@
-// Message envelope exchanged between operator tasks. A single envelope type
+// Message envelope exchanged between operator tasks, and TupleBatch, the
+// batched unit the exchange plane ships between them. A single envelope type
 // keeps channels and engines monomorphic; the `type` tag selects which
 // fields are meaningful.
 
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "src/core/mapping.h"
 #include "src/localjoin/predicate.h"
@@ -58,5 +61,52 @@ struct Envelope {
 
 /// Convenience constructors.
 Envelope MakeInput(Rel rel, int64_t key, uint32_t bytes, uint64_t seq);
+
+// ---------------------------------------------------------------------------
+// TupleBatch: the unit that travels an exchange edge. Batching amortizes
+// per-message costs — ring/channel synchronization, virtual dispatch into the
+// task, in-flight accounting, and clock reads — over `batch_size` envelopes.
+//
+// Batches never mix control and data: control messages (epoch signals,
+// migration markers, acks, EOS) always flush the edge's pending data batch
+// first and then travel as a singleton batch, so a flush marker can never
+// overtake — or be overtaken by — data buffered on the same edge. Because
+// reshufflers emit the epoch-change signal before any tuple routed under the
+// new mapping, this also means a data batch never mixes epochs.
+// ---------------------------------------------------------------------------
+
+struct TupleBatch {
+  std::vector<Envelope> items;
+  /// When the first envelope was buffered (producer clock, micros). Drives
+  /// the deadline flush; read once per batch, not per tuple.
+  uint64_t first_buffered_us = 0;
+
+  TupleBatch() = default;
+  explicit TupleBatch(Envelope&& single) { items.push_back(std::move(single)); }
+
+  size_t size() const { return items.size(); }
+  bool empty() const { return items.empty(); }
+
+  void Add(Envelope&& msg) { items.push_back(std::move(msg)); }
+
+  void Clear() {
+    items.clear();
+    first_buffered_us = 0;
+  }
+};
+
+/// True for message types that cut batches: they flush the edge's buffered
+/// data and travel alone, preserving their ordering role in the migration
+/// protocol (kReshufSignal / kMigEnd are FIFO markers; kEos terminates).
+inline bool IsControlMsg(MsgType type) {
+  switch (type) {
+    case MsgType::kInput:
+    case MsgType::kData:
+    case MsgType::kMigrate:
+      return false;
+    default:
+      return true;
+  }
+}
 
 }  // namespace ajoin

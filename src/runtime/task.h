@@ -1,11 +1,44 @@
 // Engine-agnostic task model. Operator logic (reshufflers, joiners,
 // controller) is written once against Task/Context and runs on either the
 // deterministic simulator or the multithreaded engine.
+//
+// Two dispatch granularities exist:
+//
+//  - OnMessage: one envelope at a time. Every task must implement it; it is
+//    the only path the SimEngine uses and the fallback for everything the
+//    batch path does not cover.
+//  - OnBatch: one TupleBatch at a time. The threaded engine's batched
+//    exchange plane delivers whole batches, and handing them to the task in
+//    one call amortizes the per-envelope virtual dispatch, type switch, and
+//    bookkeeping that otherwise dominate the exchange hot path. The default
+//    implementation simply loops OnMessage, so tasks that never override it
+//    (and every task on the SimEngine) behave exactly as before.
+//
+// Invariants an OnBatch implementer may rely on (established by the exchange
+// layer — see ARCHITECTURE.md "Operator dispatch"):
+//
+//  1. Single-threaded per task: like OnMessage, OnBatch is never invoked
+//     concurrently for the same task instance, and OnMessage/OnBatch calls
+//     never overlap each other.
+//  2. Per-edge FIFO: a batch contains consecutive envelopes of exactly one
+//     sender→receiver edge, in send order, and batches of the same edge
+//     arrive in send order.
+//  3. Control cuts batches: control messages (epoch signals, migration
+//     markers, acks, EOS) always travel as singleton batches, so a batch is
+//     either pure data (kInput/kData/kMigrate) or a single control message —
+//     never a mix. Because reshufflers emit the epoch-change signal before
+//     routing under the new mapping, a data batch also never mixes epochs;
+//     per-envelope epoch checks may be hoisted to once per batch.
+//
+// An override that cannot handle a particular batch shape (e.g. a joiner in
+// migration mode that needs per-envelope Δ/Δ' bookkeeping) must delegate to
+// Task::OnBatch, which preserves exact per-envelope semantics.
 
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "src/net/message.h"
 
@@ -22,17 +55,37 @@ class Context {
   /// Sends a message to another task (FIFO per sender-receiver pair).
   virtual void Send(int to, Envelope msg) = 0;
 
+  /// Sends a run of *data* envelopes (no control messages) to one task as a
+  /// unit, preserving their order on the edge. Engines that batch the wire
+  /// (the threaded engine's exchange plane) override this to amortize
+  /// in-flight accounting and outbox work over the run; the default loops
+  /// Send, so the two are observably equivalent. `run` is consumed.
+  virtual void SendBatch(int to, TupleBatch&& run) {
+    for (Envelope& msg : run.items) Send(to, std::move(msg));
+    run.Clear();
+  }
+
   /// Monotonic time in microseconds. The simulator returns a deterministic
   /// logical clock; the threaded engine returns wall-clock time.
   virtual uint64_t NowMicros() const = 0;
 };
 
-/// An event-driven task. OnMessage is never invoked concurrently for the
-/// same task instance.
+/// An event-driven task. OnMessage/OnBatch are never invoked concurrently
+/// for the same task instance.
 class Task {
  public:
   virtual ~Task() = default;
   virtual void OnMessage(Envelope msg, Context& ctx) = 0;
+
+  /// Batch-level dispatch (see file header for the invariants callers
+  /// guarantee). The default unpacks the batch into one OnMessage call per
+  /// envelope, in order — overrides must be observably equivalent to that
+  /// loop, and fall back to it for batch shapes they do not specialize.
+  virtual void OnBatch(TupleBatch batch, Context& ctx) {
+    for (Envelope& msg : batch.items) {
+      OnMessage(std::move(msg), ctx);
+    }
+  }
 };
 
 /// Minimal engine interface shared by SimEngine and ThreadEngine.

@@ -21,6 +21,15 @@ class ThreadEngine::BatchedContext : public Context {
     outbox_->Send(to, std::move(msg));
   }
 
+  void SendBatch(int to, TupleBatch&& run) override {
+    if (run.empty()) return;
+    for (Envelope& msg : run.items) msg.from = self_;
+    // One in-flight increment and one outbox pass for the whole run instead
+    // of one per envelope.
+    engine_->IncInflight(run.size());
+    outbox_->SendRun(to, std::move(run));
+  }
+
   uint64_t NowMicros() const override { return engine_->NowMicros(); }
 
  private:
@@ -89,13 +98,22 @@ void ThreadEngine::WorkerLoop(int id) {
   ExchangePlane::Outbox* outbox = plane_->outbox(static_cast<size_t>(id));
   BatchedContext ctx(this, id, outbox);
   Task* task = tasks_[static_cast<size_t>(id)].get();
+  const bool batch_dispatch = exchange_config_.batch_dispatch;
   size_t cursor = 0;
   TupleBatch batch;
   while (true) {
     if (plane_->PopAny(id, &cursor, &batch)) {
       const uint64_t n = batch.size();
-      for (Envelope& msg : batch.items) {
-        task->OnMessage(std::move(msg), ctx);
+      if (batch_dispatch) {
+        // Hand the whole batch to the task: one virtual call (and one shot
+        // at the operator's batch specializations) per batch.
+        task->OnBatch(std::move(batch), ctx);
+      } else {
+        // Per-envelope dispatch baseline (ExchangeConfig::batch_dispatch =
+        // false): unpack here, exactly the PR-1 behavior.
+        for (Envelope& msg : batch.items) {
+          task->OnMessage(std::move(msg), ctx);
+        }
       }
       batch.Clear();
       DecInflight(n);

@@ -5,7 +5,11 @@
 //    lock-free SPSC rings carrying TupleBatches, with size/deadline/control
 //    batching and credit-based backpressure. A slow joiner stalls only the
 //    edges feeding it; the driver blocks only when the specific ingress edge
-//    it is posting on is out of credits.
+//    it is posting on is out of credits. Consumed batches are handed to
+//    Task::OnBatch whole (ExchangeConfig::batch_dispatch, default true), so
+//    operators with batch specializations (reshuffler routing, joiner
+//    store/probe) skip the per-envelope dispatch entirely; setting it false
+//    unpacks batches into one OnMessage call per envelope.
 //
 //  - kLegacyChannel: the original per-tuple mutex+deque Channel per task,
 //    with a single global max_inflight throttle on Post(). Kept as the

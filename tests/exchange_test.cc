@@ -16,7 +16,7 @@
 #include "src/core/operator.h"
 #include "src/exchange/batch_ring.h"
 #include "src/exchange/exchange.h"
-#include "src/exchange/tuple_batch.h"
+#include "src/net/message.h"
 #include "src/runtime/thread_engine.h"
 
 namespace ajoin {

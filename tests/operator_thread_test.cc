@@ -58,18 +58,22 @@ std::vector<std::pair<uint64_t, uint64_t>> ReferencePairs(
 }
 
 /// Exchange planes every protocol test runs against: the legacy per-tuple
-/// mutex channels, the default batched plane, and a stress config with tiny
-/// batches and a tiny credit window so size flushes, deadline flushes, and
-/// credit stalls all interleave with migrations.
-enum class Plane { kLegacy, kBatched, kBatchedTiny };
+/// mutex channels, the default batched plane (whole batches handed to
+/// Task::OnBatch), the batched plane with per-envelope dispatch (the engine
+/// unpacks batches into OnMessage — the operators' batch specializations
+/// never run), and a stress config with tiny batches and a tiny credit
+/// window so size flushes, deadline flushes, and credit stalls all
+/// interleave with migrations while OnBatch sees every odd batch shape.
+enum class Plane { kLegacy, kBatched, kBatchedEnvelope, kBatchedTiny };
 
 const Plane kAllPlanes[] = {Plane::kLegacy, Plane::kBatched,
-                            Plane::kBatchedTiny};
+                            Plane::kBatchedEnvelope, Plane::kBatchedTiny};
 
 const char* PlaneName(Plane plane) {
   switch (plane) {
     case Plane::kLegacy: return "legacy";
     case Plane::kBatched: return "batched";
+    case Plane::kBatchedEnvelope: return "batched-envelope";
     case Plane::kBatchedTiny: return "batched-tiny";
   }
   return "?";
@@ -81,6 +85,11 @@ std::unique_ptr<ThreadEngine> MakeEngine(Plane plane) {
       return std::make_unique<ThreadEngine>(/*max_inflight=*/4096);
     case Plane::kBatched:
       return std::make_unique<ThreadEngine>(ExchangeConfig{});
+    case Plane::kBatchedEnvelope: {
+      ExchangeConfig cfg;
+      cfg.batch_dispatch = false;
+      return std::make_unique<ThreadEngine>(cfg);
+    }
     case Plane::kBatchedTiny: {
       ExchangeConfig cfg;
       cfg.batch_size = 5;
@@ -203,6 +212,30 @@ TEST(OperatorThread, RowModeResidualPredicate) {
     engine->WaitQuiescent();
     EXPECT_EQ(op.CollectPairs(), want) << PlaneName(plane);
     engine->Shutdown();
+  }
+}
+
+TEST(OperatorThread, BatchDispatchMatchesEnvelopeDispatchAcrossMigration) {
+  // The OnBatch specializations (reshuffler one-pass routing, joiner
+  // run-grouped store/probe) must be observably equivalent to the
+  // per-envelope default loop — including across live migrations, where the
+  // joiner falls back to per-envelope Δ/Δ' handling mid-stream. Aggressive
+  // epsilon guarantees at least one migration is in flight while data keeps
+  // arriving.
+  JoinSpec spec = MakeEquiJoin(0, 0);
+  for (uint64_t seed = 50; seed < 54; ++seed) {
+    auto stream = MakeStream(400 + 13 * seed, 1200 + 29 * seed, 24, seed);
+    auto want = ReferencePairs(stream, spec);
+    uint64_t migrations_batch = 0, migrations_env = 0;
+    auto with_batch = RunThreaded(stream, spec, 8, 0.25, &migrations_batch,
+                                  Plane::kBatched);
+    auto with_env = RunThreaded(stream, spec, 8, 0.25, &migrations_env,
+                                Plane::kBatchedEnvelope);
+    EXPECT_EQ(with_batch, want) << "seed " << seed;
+    EXPECT_EQ(with_env, want) << "seed " << seed;
+    EXPECT_EQ(with_batch, with_env) << "seed " << seed;
+    EXPECT_GE(migrations_batch, 1u) << "seed " << seed;
+    EXPECT_GE(migrations_env, 1u) << "seed " << seed;
   }
 }
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Docs hygiene checks, run by the CI docs job (and locally).
+
+1. Every relative markdown link in README.md, ARCHITECTURE.md, ROADMAP.md,
+   and docs/**/*.md must resolve to an existing file or directory.
+2. Every header under src/ that declares or references OnBatch outside a
+   comment must carry a doc comment: the nearest preceding non-blank line of
+   each such declaration must be a comment line. This keeps the OnBatch
+   contract (default loop, no-mixed-epoch precondition, migration fallback)
+   documented where implementers see it.
+
+Exit code 0 = clean; 1 = findings (printed one per line).
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+DOC_FILES = ["README.md", "ARCHITECTURE.md", "ROADMAP.md"]
+
+
+def check_links():
+    errors = []
+    files = [REPO / name for name in DOC_FILES if (REPO / name).exists()]
+    files += sorted((REPO / "docs").glob("**/*.md"))
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(REPO)}: broken link '{target}'")
+    return errors
+
+
+def check_onbatch_doc_comments():
+    errors = []
+    for path in sorted((REPO / "src").glob("**/*.h")):
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for idx, line in enumerate(lines):
+            stripped = line.strip()
+            if stripped.startswith("//"):
+                continue
+            if "OnBatch" not in stripped:
+                continue
+            # Nearest preceding non-blank line must be a comment.
+            prev = idx - 1
+            while prev >= 0 and not lines[prev].strip():
+                prev -= 1
+            if prev < 0 or not lines[prev].strip().startswith("//"):
+                errors.append(
+                    f"{path.relative_to(REPO)}:{idx + 1}: OnBatch without an "
+                    "accompanying doc comment block")
+    return errors
+
+
+def main():
+    errors = check_links() + check_onbatch_doc_comments()
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"\n{len(errors)} docs check failure(s)", file=sys.stderr)
+        return 1
+    print("docs checks clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
