@@ -1,0 +1,111 @@
+// Multi-source ingress: four producer threads — say, four upstream stream
+// partitions — feed one adaptive equi-join concurrently, each through its
+// own IngressPort. This is the scenario the old single-entry Engine::Post
+// API could not express without serializing every source on one mutex:
+// OpenIngress gives each source a dedicated, credit-governed lane (its own
+// SPSC rings and batcher per reshuffler edge), so sources only stall when
+// a specific downstream edge is out of credits.
+//
+//   ./build/example_multi_source_ingress
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/stopwatch.h"
+#include "src/core/operator.h"
+#include "src/runtime/thread_engine.h"
+
+using namespace ajoin;
+
+namespace {
+
+constexpr int kSources = 4;
+constexpr uint64_t kTuplesPerSource = 100000;
+constexpr uint32_t kBatchTarget = 64;
+
+}  // namespace
+
+int main() {
+  ExchangeConfig exchange;
+  exchange.max_ingress_ports = kSources + 1;  // +1 for the operator's port
+  ThreadEngine engine(exchange);
+
+  OperatorConfig config;
+  config.spec = MakeEquiJoin(/*r_key_col=*/0, /*s_key_col=*/0);
+  config.machines = 8;
+  config.adaptive = true;
+  config.min_total_before_adapt = 1024;
+  config.keep_rows = false;
+  JoinOperator op(engine, config);
+  engine.Start();
+  const uint32_t num_reshufflers = op.num_reshufflers();
+
+  // Each source owns the sequence numbers s, s + kSources, s + 2*kSources,
+  // ... — disjoint, so tags and routing are stable no matter how the four
+  // lanes interleave.
+  Stopwatch clock;
+  std::vector<std::thread> sources;
+  for (int s = 0; s < kSources; ++s) {
+    sources.emplace_back([&engine, num_reshufflers, s] {
+      std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
+      Rng rng(1000 + static_cast<uint64_t>(s));
+      std::vector<TupleBatch> staged(num_reshufflers);
+      for (uint64_t i = 0; i < kTuplesPerSource; ++i) {
+        const uint64_t seq = static_cast<uint64_t>(s) + i * kSources;
+        Envelope env;
+        env.type = MsgType::kInput;
+        // A 1:9 R:S mix far from the square starting mapping, so the
+        // controller migrates while all four lanes are live.
+        env.rel = rng.NextBool(0.1) ? Rel::kR : Rel::kS;
+        env.key = static_cast<int64_t>(rng.Uniform(1u << 16));
+        env.bytes = 16;
+        env.seq = seq;
+        // JoinOperator's spray, so routing matches a single-driver run.
+        const int r = JoinOperator::ReshufflerFor(seq, num_reshufflers);
+        TupleBatch& run = staged[static_cast<size_t>(r)];
+        run.Add(std::move(env));
+        if (run.size() >= kBatchTarget) {
+          port->PostBatch(r, std::move(run));
+          run.Clear();
+        }
+      }
+      for (size_t r = 0; r < staged.size(); ++r) {
+        if (staged[r].empty()) continue;
+        port->PostBatch(static_cast<int>(r), std::move(staged[r]));
+      }
+      port->Flush();
+    });
+  }
+  for (std::thread& t : sources) t.join();
+
+  // All lanes flushed; drain before EOS so end-of-stream (sent on the
+  // operator's own port, a different edge) cannot overtake in-flight data.
+  engine.WaitQuiescent();
+  op.SendEos();
+  engine.WaitQuiescent();
+  const double secs = clock.ElapsedSeconds();
+
+  const uint64_t total = kTuplesPerSource * kSources;
+  std::printf("sources:          %d ports x %llu tuples\n", kSources,
+              static_cast<unsigned long long>(kTuplesPerSource));
+  std::printf("ingest rate:      %.0f tuples/s (wall clock)\n",
+              static_cast<double>(total) / secs);
+  std::printf("join results:     %llu\n",
+              static_cast<unsigned long long>(op.TotalOutputs()));
+  if (op.controller() != nullptr) {
+    std::printf("migrations:       %llu (concurrent with all four lanes)\n",
+                static_cast<unsigned long long>(op.controller()->log().size()));
+    std::printf("final mapping:    %s\n",
+                op.controller()->current_mapping(0).ToString().c_str());
+  }
+  ExchangeStatsSnapshot stats = engine.exchange_stats();
+  std::printf("avg batch fill:   %.1f envelopes/batch\n", stats.avg_batch_fill);
+  std::printf("credit waits:     %llu (per-edge backpressure, not a global "
+              "throttle)\n",
+              static_cast<unsigned long long>(stats.credit_waits));
+  engine.Shutdown();
+  return 0;
+}

@@ -43,6 +43,9 @@ int main() {
   config.keep_rows = true;
   JoinOperator op(engine, config);
   engine.Start();
+  // Threaded run, no per-tuple drain: drive the operator's ingress port
+  // with size-targeted PostBatch runs instead of one envelope per Push.
+  op.SetIngressBatch(64);
 
   // Simulated trading session: sells outnumber buys 4:1 and prices random-
   // walk, so both the cardinality ratio and the hot price band drift.

@@ -36,7 +36,15 @@ RunResult RunWorkload(Engine& engine, Op& op, const Workload& workload,
   double r_bytes = 0, s_bytes = 0;
   uint64_t migrating_tuples = 0;
 
+  // Drive the operator's ingress port with size-targeted batches when the
+  // run has no per-tuple drain cadence to preserve (see RunOptions).
+  const uint32_t ingress_batch =
+      options.ingress_batch != 0 ? options.ingress_batch
+                                 : (options.drain_every != 0 ? 1u : 64u);
+  op.SetIngressBatch(ingress_batch);
+
   auto snapshot = [&](bool final_point) {
+    op.FlushInput();  // staged input counts as pushed; ship it first
     engine.WaitQuiescent();
     uint64_t max_in = 0;
     uint64_t outputs = 0;
@@ -72,6 +80,7 @@ RunResult RunWorkload(Engine& engine, Op& op, const Workload& workload,
       s_bytes += tuple.bytes;
     }
     if (options.drain_every != 0 && pushed % options.drain_every == 0) {
+      op.FlushInput();
       engine.WaitQuiescent();
     }
     if (options.checkpoint_every != 0 &&

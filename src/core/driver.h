@@ -29,6 +29,12 @@ struct RunOptions {
   /// changes) do not lag behind queued inputs; 1 gives faithful per-tuple
   /// online semantics and is the default. Threaded runs set 0.
   uint64_t drain_every = 1;
+  /// Input-side batch target: tuples staged per reshuffler before the
+  /// operator ships them as one IngressPort::PostBatch. 0 (default) = auto:
+  /// per-tuple posts whenever drain_every != 0 (the deterministic per-tuple
+  /// cadence), size-targeted batches of 64 otherwise (threaded runs, where
+  /// the driver's per-tuple Post was the last per-envelope hot path).
+  uint32_t ingress_batch = 0;
 };
 
 struct ProgressPoint {

@@ -107,25 +107,46 @@ JoinOperator::JoinOperator(Engine& engine, OperatorConfig config)
   }
 }
 
+IngressPort& JoinOperator::Port() {
+  if (port_ == nullptr) port_ = engine_.OpenIngress(reshuffler_ids_[0]);
+  return *port_;
+}
+
+int JoinOperator::ReshufflerFor(uint64_t seq, uint32_t num_reshufflers) {
+  return static_cast<int>(SplitMix64(seq ^ 0xc2b2ae3d27d4eb4fULL) %
+                          num_reshufflers);
+}
+
+void JoinOperator::SetIngressBatch(uint32_t target) {
+  FlushInput();  // staged under the old target must not be stranded
+  stager_.SetTarget(target, num_reshufflers_);
+}
+
 void JoinOperator::Push(const StreamTuple& tuple) {
   Envelope env = InputEnvelope(tuple, seq_++, engine_.NowMicros());
-  // Random-ish reshuffler choice (paper: incoming tuples are randomly routed
-  // to reshufflers); deterministic given the sequence number.
-  uint64_t r = SplitMix64(env.seq ^ 0xc2b2ae3d27d4eb4fULL) % num_reshufflers_;
-  engine_.Post(static_cast<int>(r), std::move(env));
+  const int r = ReshufflerFor(env.seq, num_reshufflers_);
+  stager_.Stage(Port(), r, std::move(env));
+}
+
+void JoinOperator::FlushInput() {
+  if (port_ == nullptr) return;  // nothing ever pushed
+  stager_.FlushStaged(*port_);
+  port_->Flush();
 }
 
 void JoinOperator::Checkpoint() {
+  FlushInput();
   Envelope env;
   env.type = MsgType::kCheckpoint;
-  engine_.Post(reshuffler_ids_[0], std::move(env));
+  Port().Post(reshuffler_ids_[0], std::move(env));
 }
 
 void JoinOperator::SendEos() {
+  FlushInput();
   for (int id : reshuffler_ids_) {
     Envelope env;
     env.type = MsgType::kEos;
-    engine_.Post(id, std::move(env));
+    Port().Post(id, std::move(env));
   }
 }
 
@@ -242,15 +263,34 @@ ShjOperator::ShjOperator(Engine& engine, OperatorConfig config)
   }
 }
 
+IngressPort& ShjOperator::Port() {
+  if (port_ == nullptr) port_ = engine_.OpenIngress(router_id_);
+  return *port_;
+}
+
+void ShjOperator::SetIngressBatch(uint32_t target) {
+  FlushInput();
+  // One destination: the router is task 0 on this engine (checked in the
+  // constructor), so the stager's task-id indexing stays dense.
+  stager_.SetTarget(target, 1);
+}
+
 void ShjOperator::Push(const StreamTuple& tuple) {
   Envelope env = InputEnvelope(tuple, seq_++, engine_.NowMicros());
-  engine_.Post(router_id_, std::move(env));
+  stager_.Stage(Port(), router_id_, std::move(env));
+}
+
+void ShjOperator::FlushInput() {
+  if (port_ == nullptr) return;  // nothing ever pushed
+  stager_.FlushStaged(*port_);
+  port_->Flush();
 }
 
 void ShjOperator::SendEos() {
+  FlushInput();
   Envelope env;
   env.type = MsgType::kEos;
-  engine_.Post(router_id_, std::move(env));
+  Port().Post(router_id_, std::move(env));
 }
 
 const JoinerCore& ShjOperator::joiner(size_t i) const {

@@ -50,21 +50,89 @@ struct OperatorConfig {
   StreamStats::Options stats_options;
 };
 
+/// Input-side staging shared by the operator facades: buffers input
+/// envelopes per destination task and ships size-targeted
+/// IngressPort::PostBatch runs; a target of 1 posts per envelope. The
+/// caller owns the port (and flushes staged runs before retargeting or
+/// sending control).
+class IngressStager {
+ public:
+  /// Sets the batch target and destination count. Anything staged under
+  /// the old target must be flushed first (see FlushStaged).
+  void SetTarget(uint32_t target, size_t num_destinations) {
+    target_ = target == 0 ? 1 : target;
+    if (target_ > 1) staged_.resize(num_destinations);
+  }
+
+  /// Current batch target (1 = per-envelope posts).
+  uint32_t target() const { return target_; }
+
+  /// Posts `env` to destination task `dest` through `port`, staging it if
+  /// the batch target is above 1 and the run is not yet full.
+  void Stage(IngressPort& port, int dest, Envelope&& env) {
+    if (target_ <= 1) {
+      port.Post(dest, std::move(env));
+      return;
+    }
+    TupleBatch& run = staged_[static_cast<size_t>(dest)];
+    run.Add(std::move(env));
+    if (run.size() >= target_) {
+      port.PostBatch(dest, std::move(run));
+      run.Clear();
+    }
+  }
+
+  /// Ships every staged run (any size) through `port`.
+  void FlushStaged(IngressPort& port) {
+    for (size_t dest = 0; dest < staged_.size(); ++dest) {
+      if (staged_[dest].empty()) continue;
+      port.PostBatch(static_cast<int>(dest), std::move(staged_[dest]));
+      staged_[dest].Clear();
+    }
+  }
+
+ private:
+  uint32_t target_ = 1;
+  std::vector<TupleBatch> staged_;  // indexed by destination task id
+};
+
 /// The paper's dataflow theta-join operator (Dynamic / StaticMid /
 /// StaticOpt depending on configuration).
 class JoinOperator {
  public:
   JoinOperator(Engine& engine, OperatorConfig config);
 
-  /// Feeds one input tuple (stamps the global sequence number). The caller
-  /// drives engine quiescence (see RunWorkload).
+  /// Feeds one input tuple (stamps the global sequence number) through the
+  /// operator's ingress port, opened lazily on first use. With an ingress
+  /// batch target > 1 the tuple is staged per reshuffler and shipped as a
+  /// PostBatch once the target is reached. The caller drives engine
+  /// quiescence (see RunWorkload). Single-producer, like the port under it.
   void Push(const StreamTuple& tuple);
 
-  /// Posts a barrier-mode migration checkpoint to the controller.
+  /// Sets the ingress batch target: input envelopes staged per reshuffler
+  /// before they ship as one PostBatch. 1 (default) posts per tuple —
+  /// required for deterministic per-tuple runs; threaded runs use
+  /// size-targeted batches (see RunOptions::ingress_batch).
+  void SetIngressBatch(uint32_t target);
+
+  /// Ships every staged input batch (any size) and flushes the port, so a
+  /// quiescent engine has seen every pushed tuple. Checkpoint/SendEos call
+  /// it implicitly; drivers call it before WaitQuiescent.
+  void FlushInput();
+
+  /// Posts a barrier-mode migration checkpoint to the controller (after
+  /// flushing staged input, so the checkpoint cannot overtake it).
   void Checkpoint();
 
-  /// Signals end-of-stream to all reshufflers.
+  /// Signals end-of-stream to all reshufflers (after flushing staged
+  /// input, so EOS cannot overtake it on any ingress edge).
   void SendEos();
+
+  /// The deterministic reshuffler spray Push applies to sequence number
+  /// `seq` (paper: incoming tuples are randomly routed to reshufflers).
+  /// Public so external multi-port drivers that assign their own sequence
+  /// numbers route exactly like a single Push-driven run.
+  static int ReshufflerFor(uint64_t seq, uint32_t num_reshufflers);
 
   uint32_t num_reshufflers() const { return num_reshufflers_; }
   size_t num_joiner_slots() const { return joiner_ids_.size(); }
@@ -93,6 +161,9 @@ class JoinOperator {
   bool multi_group() const { return group_count_ > 1; }
 
  private:
+  /// Lazily opens the ingress port (threaded engines require Start first).
+  IngressPort& Port();
+
   Engine& engine_;
   OperatorConfig config_;
   uint32_t num_reshufflers_ = 0;
@@ -101,6 +172,8 @@ class JoinOperator {
   std::vector<int> joiner_ids_;  // all groups, block-contiguous
   uint64_t seq_ = 0;
   uint64_t next_reshuffler_ = 0;
+  std::unique_ptr<IngressPort> port_;
+  IngressStager stager_;
 };
 
 /// Content-sensitive parallel symmetric hash join (the Shj baseline of
@@ -110,8 +183,16 @@ class ShjOperator {
  public:
   ShjOperator(Engine& engine, OperatorConfig config);
 
+  /// Feeds one input tuple through the operator's ingress port (staged per
+  /// the ingress batch target, like JoinOperator::Push).
   void Push(const StreamTuple& tuple);
+  /// Input batch target before a PostBatch ships to the router (1 = post
+  /// per tuple).
+  void SetIngressBatch(uint32_t target);
+  /// Ships the staged input batch and flushes the port.
+  void FlushInput();
   void Checkpoint() {}  // no adaptivity
+  /// Signals end-of-stream to the router (flushes staged input first).
   void SendEos();
 
   const JoinerCore& joiner(size_t i) const;
@@ -127,11 +208,16 @@ class ShjOperator {
  private:
   class ShjRouter;
 
+  /// Lazily opens the ingress port (threaded engines require Start first).
+  IngressPort& Port();
+
   Engine& engine_;
   OperatorConfig config_;
   int router_id_ = 0;
   std::vector<int> joiner_ids_;
   uint64_t seq_ = 0;
+  std::unique_ptr<IngressPort> port_;
+  IngressStager stager_;
 };
 
 }  // namespace ajoin

@@ -17,16 +17,16 @@ constexpr std::chrono::milliseconds kParkTimeout{1};
 ExchangePlane::ExchangePlane(size_t num_tasks, const ExchangeConfig& config)
     : num_tasks_(num_tasks),
       config_(config),
-      edge_matrix_((num_tasks + 1) * num_tasks),
+      edge_matrix_((num_tasks + 1 + config.max_ingress_ports) * num_tasks),
       inboxes_(num_tasks),
-      outboxes_(num_tasks + 1) {
+      outboxes_(num_tasks + 1 + config.max_ingress_ports) {
   AJOIN_CHECK_MSG(config.batch_size >= 1, "batch_size must be >= 1");
   for (Inbox& inbox : inboxes_) {
     // Reserved so concurrent readers of edges[i < n_edges] never observe a
     // reallocation.
-    inbox.edges.reserve(num_tasks + 1);
+    inbox.edges.reserve(outboxes_.size());
   }
-  for (size_t p = 0; p <= num_tasks; ++p) {
+  for (size_t p = 0; p < outboxes_.size(); ++p) {
     outboxes_[p].plane_ = this;
     outboxes_[p].producer_ = p;
     outboxes_[p].edges_.resize(num_tasks);
@@ -48,7 +48,9 @@ ExchangePlane::Edge* ExchangePlane::GetEdge(size_t producer, int consumer) {
   if (edge != nullptr) return edge;
   // Only this producer's thread creates this edge, so there is no creation
   // race on the slot; registration into the inbox is what needs the lock.
-  const bool bounded = producer == num_tasks_ ||
+  // All external producers (the default lane and every ingress port) are
+  // bounded: they are the system's strictly bounded ingress.
+  const bool bounded = producer >= num_tasks_ ||
                        static_cast<int>(producer) < consumer;
   edge = new Edge(config_.ring_slots, bounded);
   Inbox& inbox = inboxes_[static_cast<size_t>(consumer)];
@@ -133,6 +135,17 @@ bool ExchangePlane::PopAny(int consumer, size_t* rr_cursor, TupleBatch* out) {
       return true;
     }
     if (!edge.bounded && edge.ov_count.load(std::memory_order_acquire) > 0) {
+      // Everything in overflow is younger than everything in the ring, but
+      // the TryPop above may have acted on a stale "empty" snapshot taken
+      // while the producer's older ring pushes were still propagating. The
+      // acquire load of ov_count synchronizes with the spill that published
+      // it, which the producer sequenced *after* those pushes — so re-poll
+      // the ring now that they are guaranteed visible, or a younger
+      // overflow batch could overtake them and break per-edge FIFO.
+      if (edge.ring.TryPop(out)) {
+        *rr_cursor = (at + 1) % n;
+        return true;  // unbounded edge: no credit waiter to wake
+      }
       std::lock_guard<std::mutex> lock(edge.ov_mu);
       if (!edge.overflow.empty()) {
         *out = std::move(edge.overflow.front());
@@ -301,6 +314,16 @@ void ExchangePlane::Outbox::FlushAll() {
     if (!pe.pending.empty()) FlushEdge(pe, static_cast<int>(to));
   }
   next_deadline_check_us_ = 0;
+}
+
+uint64_t ExchangePlane::Outbox::DiscardPending() {
+  uint64_t dropped = 0;
+  for (PerEdge& pe : edges_) {
+    dropped += pe.pending.size();
+    pe.pending.Clear();
+  }
+  next_deadline_check_us_ = 0;
+  return dropped;
 }
 
 void ExchangePlane::Outbox::FlushExpired(uint64_t now_us) {

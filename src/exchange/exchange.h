@@ -21,9 +21,12 @@
 // FIFO: per-edge order is structural (one SPSC ring per edge; the overflow
 // lane is strictly younger than the ring because a producer only bypasses to
 // overflow while the ring is full, and only returns to the ring once its
-// overflow has fully drained). Cross-edge arrival order at a consumer is
-// unspecified, exactly as with the legacy mutex channels — the migration
-// protocol only relies on per-edge FIFO.
+// overflow has fully drained). The consumer re-polls the ring after
+// observing a non-empty overflow (the ov_count acquire synchronizes with the
+// spill, making the producer's older ring pushes visible), so a stale
+// ring-empty snapshot cannot let overflow overtake the ring. Cross-edge
+// arrival order at a consumer is unspecified, exactly as with the legacy
+// mutex channels — the migration protocol only relies on per-edge FIFO.
 
 #pragma once
 
@@ -56,6 +59,11 @@ struct ExchangeConfig {
   /// per envelope (false — the per-envelope dispatch baseline the
   /// fig_exchange_throughput bench measures against).
   bool batch_dispatch = true;
+  /// External producer slots available to Engine::OpenIngress, on top of
+  /// the always-present default ingress lane the deprecated Engine::Post
+  /// shim uses. Each slot is a full per-consumer edge row (rings created
+  /// lazily on first send), so the cost of a generous bound is pointers.
+  uint32_t max_ingress_ports = 8;
 };
 
 /// Point-in-time counters (aggregated across all edges).
@@ -72,15 +80,20 @@ struct ExchangeStatsSnapshot {
 
 class ExchangePlane {
  public:
-  /// `num_tasks` consumers; producer ids are [0, num_tasks] where id
-  /// num_tasks is the external driver.
+  /// `num_tasks` consumers; producer ids are [0, num_tasks +
+  /// config.max_ingress_ports]: workers occupy [0, num_tasks), id num_tasks
+  /// is the default external (driver) lane, and the remaining ids are
+  /// ingress-port slots handed out by the engine.
   ExchangePlane(size_t num_tasks, const ExchangeConfig& config);
   ~ExchangePlane();
 
   ExchangePlane(const ExchangePlane&) = delete;
   ExchangePlane& operator=(const ExchangePlane&) = delete;
 
+  /// The default external lane (the deprecated Engine::Post shim's slot).
   size_t external_producer() const { return num_tasks_; }
+  /// Total producer ids, workers + default lane + ingress-port slots.
+  size_t num_producers() const { return outboxes_.size(); }
 
  private:
   struct Edge;  // defined below; PerEdge holds pointers to it
@@ -107,6 +120,12 @@ class ExchangePlane {
 
     /// Ships every buffered batch.
     void FlushAll();
+
+    /// Drops every buffered (unflushed) envelope without shipping and
+    /// returns how many were dropped. Teardown only (a port closing after
+    /// engine shutdown, when delivery is no longer possible); the caller
+    /// owns the matching in-flight accounting.
+    uint64_t DiscardPending();
 
     /// Ships batches whose first envelope has waited past the deadline.
     /// Cheap no-op until the earliest pending deadline is actually due.
@@ -206,7 +225,7 @@ class ExchangePlane {
 
   const size_t num_tasks_;
   const ExchangeConfig config_;
-  std::vector<std::atomic<Edge*>> edge_matrix_;  // (num_tasks_+1) x num_tasks_
+  std::vector<std::atomic<Edge*>> edge_matrix_;  // num_producers() x num_tasks_
   std::vector<Inbox> inboxes_;
   std::vector<Outbox> outboxes_;
   std::atomic<bool> closed_{false};

@@ -88,6 +88,56 @@ class Task {
   }
 };
 
+/// A per-producer ingress lane into the engine, obtained from
+/// Engine::OpenIngress. Each port owns its own batching and credit state —
+/// on the threaded engine a dedicated producer slot in the exchange plane
+/// (one SPSC ring per port→task edge) — so concurrent drivers each holding
+/// their own port never contend on a shared mutex; on the simulator a port
+/// is a deterministic shim that enqueues per tuple. A port is single-
+/// producer: it must be used from one thread at a time, and it must not
+/// outlive the engine that opened it (the destructor flushes anything still
+/// buffered and unregisters from the engine).
+///
+/// Post/PostBatch after Engine::Shutdown() reject cleanly: they return
+/// false and drop the message, matching Channel::Push post-Close semantics
+/// (the workers that would deliver it are gone, so rejecting is the only
+/// honest answer). Posting *concurrently* with Shutdown is a caller bug —
+/// stop or join producers first.
+class IngressPort {
+ public:
+  virtual ~IngressPort() = default;
+
+  /// The default destination task id, bound at OpenIngress time.
+  virtual int to() const = 0;
+
+  /// Posts one envelope to the bound default destination. Returns false —
+  /// and drops the envelope — after the engine has shut down.
+  bool Post(Envelope msg) { return Post(to(), std::move(msg)); }
+
+  /// Posts one envelope to an explicit destination task, so fan-out
+  /// producers (a driver spraying reshufflers) need only one port. FIFO is
+  /// preserved per port→destination edge. Returns false after shutdown.
+  virtual bool Post(int to, Envelope msg) = 0;
+
+  /// Posts a pre-formed batch to the bound default destination. Returns
+  /// false — and drops the batch — after the engine has shut down.
+  bool PostBatch(TupleBatch&& batch) { return PostBatch(to(), std::move(batch)); }
+
+  /// Posts a pre-formed batch to an explicit destination as one unit,
+  /// preserving edge FIFO against earlier Post calls on this port. Pure
+  /// data batches (no control messages) take the amortized run path;
+  /// batches containing control fall back to the per-envelope path, which
+  /// keeps the control-cuts-batches invariant. `batch` is consumed on
+  /// success. Returns false after shutdown.
+  virtual bool PostBatch(int to, TupleBatch&& batch) = 0;
+
+  /// Ships every envelope still buffered in this port. Buffered envelopes
+  /// count as in-flight, and only their owning port (or the engine's
+  /// WaitQuiescent sweep) can ship them — call Flush() when this producer
+  /// goes idle so quiescence is not held up on a stalled source.
+  virtual void Flush() = 0;
+};
+
 /// Minimal engine interface shared by SimEngine and ThreadEngine.
 class Engine {
  public:
@@ -99,19 +149,38 @@ class Engine {
   /// Starts dispatching (no-op for the simulator).
   virtual void Start() = 0;
 
+  /// Opens a dedicated ingress lane with default destination `to` (see
+  /// IngressPort). Each open port claims its own producer identity, so one
+  /// port per driver thread gives mutex-free multi-producer ingress. On the
+  /// threaded engine call after Start() and before Shutdown(); the number
+  /// of ports is bounded by ExchangeConfig::max_ingress_ports. The port
+  /// must be destroyed before the engine.
+  virtual std::unique_ptr<IngressPort> OpenIngress(int to) = 0;
+
   /// Injects a message from outside (the driver/source).
+  ///
+  /// DEPRECATED: thin shim over a lazily-opened shared default port, kept
+  /// so single-driver call sites and the simulator keep working unchanged.
+  /// It serializes all callers on the default port's lock; concurrent
+  /// drivers should each OpenIngress their own port instead. After
+  /// Shutdown() the message is dropped (the port underneath rejects it).
   virtual void Post(int to, Envelope msg) = 0;
 
   /// Blocks until all in-flight messages (and their transitive sends) have
-  /// been processed.
+  /// been processed. Envelopes buffered in an open ingress port count as
+  /// in-flight; the threaded engine sweeps registered ports while waiting,
+  /// so a partially filled port batch cannot stall quiescence.
   virtual void WaitQuiescent() = 0;
 
-  /// Stops dispatching and joins workers (no-op for the simulator).
+  /// Stops dispatching and joins workers (no-op for the simulator). From
+  /// this point Post/PostBatch on any port (and the Post shim) reject.
   virtual void Shutdown() = 0;
 
   /// Access to a task for post-run inspection. Only valid when quiescent.
   virtual Task* task(int id) = 0;
 
+  /// Monotonic time in microseconds (logical on the simulator, wall-clock
+  /// on the threaded engine).
   virtual uint64_t NowMicros() const = 0;
 };
 

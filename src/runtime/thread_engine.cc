@@ -1,5 +1,7 @@
 #include "src/runtime/thread_engine.h"
 
+#include <algorithm>
+
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
 
@@ -62,6 +64,53 @@ class ThreadEngine::LegacyContext : public Context {
   int self_;
 };
 
+// One ingress lane. Batched plane: owns a dedicated external producer slot
+// (outbox_), so each port has private rings/batchers/credits; mu_ only
+// serializes the port's producer against the engine's WaitQuiescent sweep —
+// two ports never share a lock. Legacy plane: outbox_ is null and posts take
+// the shared channel/throttle path (the handle is a compatibility veneer).
+class ThreadEngine::PortImpl : public IngressPort {
+ public:
+  PortImpl(ThreadEngine* engine, int to, ExchangePlane::Outbox* outbox,
+           size_t slot)
+      : engine_(engine), to_(to), outbox_(outbox), slot_(slot) {}
+  // Flushes anything still buffered (unless the engine already shut down)
+  // and unregisters from the engine's port sweep.
+  ~PortImpl() override { engine_->ClosePort(this); }
+
+  int to() const override { return to_; }
+
+  using IngressPort::Post;
+  using IngressPort::PostBatch;
+
+  // See IngressPort (task.h) for the contract on all three.
+  bool Post(int to, Envelope msg) override {
+    return engine_->PortPost(*this, to, std::move(msg));
+  }
+  bool PostBatch(int to, TupleBatch&& batch) override {
+    return engine_->PortPostBatch(*this, to, std::move(batch));
+  }
+  void Flush() override { engine_->PortFlush(*this); }
+
+ private:
+  friend class ThreadEngine;
+
+  ThreadEngine* engine_;
+  const int to_;
+  ExchangePlane::Outbox* outbox_;  // null on the legacy plane
+  const size_t slot_;   // producer slot, returned to the free list on close
+  std::mutex mu_;       // this port's producer vs the WaitQuiescent sweep
+  uint64_t posts_ = 0;  // amortized deadline-sweep counter (guarded by mu_)
+};
+
+ThreadEngine::ThreadEngine() : ThreadEngine(ExchangeConfig{}) {}
+
+ThreadEngine::ThreadEngine(const ExchangeConfig& config)
+    : mode_(ExchangeMode::kBatched), exchange_config_(config) {}
+
+ThreadEngine::ThreadEngine(size_t max_inflight)
+    : mode_(ExchangeMode::kLegacyChannel), max_inflight_(max_inflight) {}
+
 ThreadEngine::~ThreadEngine() { Shutdown(); }
 
 uint64_t ThreadEngine::NowMicros() const { return SteadyNowMicros(); }
@@ -81,6 +130,13 @@ void ThreadEngine::Start() {
   if (mode_ == ExchangeMode::kBatched) {
     plane_ =
         std::make_unique<ExchangePlane>(tasks_.size(), exchange_config_);
+    // The deprecated Post shim's lane: a normal port on the plane's default
+    // external slot, registered like any other so the WaitQuiescent sweep
+    // covers it. Its lock is the old global ingress mutex.
+    default_port_ = std::make_unique<PortImpl>(
+        this, 0, plane_->outbox(plane_->external_producer()),
+        plane_->external_producer());
+    ports_.push_back(default_port_.get());
   }
   workers_.reserve(tasks_.size());
   for (size_t i = 0; i < tasks_.size(); ++i) {
@@ -91,6 +147,141 @@ void ThreadEngine::Start() {
         LegacyWorkerLoop(static_cast<int>(i));
       }
     });
+  }
+}
+
+std::unique_ptr<IngressPort> ThreadEngine::OpenIngress(int to) {
+  AJOIN_CHECK_MSG(to >= 0 && to < static_cast<int>(tasks_.size()),
+                  "OpenIngress: unknown destination task");
+  AJOIN_CHECK_MSG(!shut_down_.load(std::memory_order_acquire),
+                  "OpenIngress after Shutdown");
+  if (mode_ == ExchangeMode::kLegacyChannel) {
+    auto port = std::make_unique<PortImpl>(this, to, nullptr, /*slot=*/0);
+    std::lock_guard<std::mutex> lock(ports_mu_);
+    ports_.push_back(port.get());
+    return port;
+  }
+  AJOIN_CHECK_MSG(started_, "OpenIngress before Start (batched plane)");
+  std::lock_guard<std::mutex> lock(ports_mu_);
+  // Closed ports return their slot, so max_ingress_ports bounds
+  // *concurrently open* ports, not total opens over the engine's lifetime.
+  // A reclaimed slot's batcher was flushed at close, but its rings may
+  // still hold the old port's undelivered batches — that is fine (the
+  // consumer drains them in order, and credits/edges are per-slot state
+  // the new port legitimately inherits), just not a blank-slate invariant.
+  size_t slot;
+  if (!free_port_slots_.empty()) {
+    slot = free_port_slots_.back();
+    free_port_slots_.pop_back();
+  } else {
+    AJOIN_CHECK_MSG(next_port_slot_ < exchange_config_.max_ingress_ports,
+                    "out of ingress-port slots; raise "
+                    "ExchangeConfig::max_ingress_ports");
+    slot = plane_->external_producer() + 1 + next_port_slot_++;
+  }
+  auto port = std::make_unique<PortImpl>(this, to, plane_->outbox(slot), slot);
+  ports_.push_back(port.get());
+  return port;
+}
+
+bool ThreadEngine::PortPost(PortImpl& port, int to, Envelope msg) {
+  AJOIN_CHECK_MSG(started_, "Post before Start");
+  AJOIN_CHECK_MSG(to >= 0 && to < static_cast<int>(tasks_.size()),
+                  "Post to unknown task");
+  if (shut_down_.load(std::memory_order_acquire)) return false;
+  if (port.outbox_ == nullptr) return LegacyPost(to, std::move(msg));
+  std::lock_guard<std::mutex> lock(port.mu_);
+  // Per-edge credit backpressure: Send blocks (inside the plane) only when
+  // this port's edge to `to` is out of credits.
+  IncInflight();
+  port.outbox_->Send(to, std::move(msg));
+  // Amortized deadline sweep: one clock read every 8 posts-with-backlog
+  // (plus the lazy read Send does when it starts a batch) instead of one
+  // per post. Bounds deadline staleness to 8 posts; Flush() and the
+  // WaitQuiescent sweep ship whatever a stalled source leaves behind.
+  if (port.outbox_->has_pending() && (++port.posts_ & 7u) == 0) {
+    port.outbox_->FlushExpired(NowMicros());
+  }
+  return true;
+}
+
+bool ThreadEngine::PortPostBatch(PortImpl& port, int to, TupleBatch&& batch) {
+  AJOIN_CHECK_MSG(started_, "PostBatch before Start");
+  AJOIN_CHECK_MSG(to >= 0 && to < static_cast<int>(tasks_.size()),
+                  "PostBatch to unknown task");
+  if (batch.empty()) return true;
+  if (shut_down_.load(std::memory_order_acquire)) return false;
+  if (port.outbox_ == nullptr) {
+    // Legacy plane: per-envelope pushes, preserving order on the channel.
+    for (Envelope& msg : batch.items) {
+      if (!LegacyPost(to, std::move(msg))) return false;
+    }
+    batch.Clear();
+    return true;
+  }
+  bool pure_data = true;
+  for (const Envelope& msg : batch.items) {
+    if (IsControlMsg(msg.type)) {
+      pure_data = false;
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(port.mu_);
+  // One in-flight increment for the whole batch (the counted-but-buffered
+  // rule from the engine header applies to port batchers too).
+  IncInflight(batch.size());
+  if (pure_data) {
+    port.outbox_->SendRun(to, std::move(batch));
+  } else {
+    // Control inside the batch: the per-envelope path preserves the
+    // control-cuts-batches invariant (Outbox::Send flushes buffered data
+    // before shipping each control message alone).
+    for (Envelope& msg : batch.items) port.outbox_->Send(to, std::move(msg));
+    batch.Clear();
+  }
+  if (port.outbox_->has_pending() && (++port.posts_ & 7u) == 0) {
+    port.outbox_->FlushExpired(NowMicros());
+  }
+  return true;
+}
+
+void ThreadEngine::PortFlush(PortImpl& port) {
+  if (port.outbox_ == nullptr) return;  // legacy plane never buffers
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(port.mu_);
+  port.outbox_->FlushAll();
+}
+
+void ThreadEngine::ClosePort(PortImpl* port) {
+  if (started_ && port->outbox_ != nullptr) {
+    std::lock_guard<std::mutex> lock(port->mu_);
+    if (!shut_down_.load(std::memory_order_acquire)) {
+      // Last-chance flush so a dropped port cannot strand counted
+      // envelopes.
+      port->outbox_->FlushAll();
+    } else {
+      // Shutdown raced ahead of this close: its quiescence sweep can no
+      // longer reach the port once we unregister, and anything a late
+      // post buffered between that sweep and now can never ship. Drop it
+      // and undo its in-flight accounting, or Shutdown's WaitQuiescent
+      // would wait forever on envelopes nobody can deliver.
+      const uint64_t dropped = port->outbox_->DiscardPending();
+      if (dropped > 0) DecInflight(dropped);
+    }
+  }
+  std::lock_guard<std::mutex> lock(ports_mu_);
+  ports_.erase(std::remove(ports_.begin(), ports_.end(), port), ports_.end());
+  if (port->outbox_ != nullptr && port != default_port_.get()) {
+    free_port_slots_.push_back(port->slot_);
+  }
+}
+
+void ThreadEngine::FlushAllPorts() {
+  std::lock_guard<std::mutex> reg_lock(ports_mu_);
+  for (PortImpl* port : ports_) {
+    if (port->outbox_ == nullptr) continue;
+    std::lock_guard<std::mutex> lock(port->mu_);
+    port->outbox_->FlushAll();
   }
 }
 
@@ -157,25 +348,7 @@ void ThreadEngine::DecInflight(uint64_t n) {
   }
 }
 
-void ThreadEngine::Post(int to, Envelope msg) {
-  AJOIN_CHECK_MSG(started_, "Post before Start");
-  if (mode_ == ExchangeMode::kBatched) {
-    // Per-edge credit backpressure: Send blocks (inside the plane) only when
-    // the specific ingress edge is out of credits. Serializing posters under
-    // ingress_mu_ keeps the external outbox single-producer.
-    std::lock_guard<std::mutex> lock(ingress_mu_);
-    IncInflight();
-    ExchangePlane::Outbox* outbox = plane_->outbox(plane_->external_producer());
-    outbox->Send(to, std::move(msg));
-    // Amortized deadline sweep: one clock read every 8 posts-with-backlog
-    // (plus the lazy read Send does when it starts a batch) instead of one
-    // per post. Bounds deadline staleness to 8 posts; WaitQuiescent flushes
-    // whatever a stalled source leaves behind.
-    if (outbox->has_pending() && (++ingress_posts_ & 7u) == 0) {
-      outbox->FlushExpired(NowMicros());
-    }
-    return;
-  }
+bool ThreadEngine::LegacyPost(int to, Envelope msg) {
   {
     std::unique_lock<std::mutex> lock(idle_mu_);
     throttle_cv_.wait(lock, [this] {
@@ -183,21 +356,35 @@ void ThreadEngine::Post(int to, Envelope msg) {
     });
   }
   IncInflight();
+  // A push the closed channel rejected (post-Shutdown) is dropped; undo the
+  // accounting and report the rejection.
   if (!channels_[static_cast<size_t>(to)]->Push(std::move(msg))) {
     DecInflight();
+    return false;
   }
+  return true;
+}
+
+void ThreadEngine::Post(int to, Envelope msg) {
+  AJOIN_CHECK_MSG(started_, "Post before Start");
+  if (mode_ == ExchangeMode::kBatched) {
+    // Deprecated shim: all callers share the default port, so its lock is
+    // the serialization point the per-producer port API removes. A post
+    // after Shutdown is rejected inside and dropped.
+    (void)PortPost(*default_port_, to, std::move(msg));
+    return;
+  }
+  if (shut_down_.load(std::memory_order_acquire)) return;  // dropped
+  (void)LegacyPost(to, std::move(msg));
 }
 
 void ThreadEngine::WaitQuiescent() {
   if (mode_ == ExchangeMode::kBatched && plane_ != nullptr) {
-    // Re-flush the ingress outbox periodically while waiting: another
-    // thread may Post (and buffer) after our flush, and nothing else ever
-    // ships the external outbox's partial batches.
+    // Re-sweep every registered ingress port periodically while waiting:
+    // a producer may Post (and buffer) after our flush, and only the
+    // owning port or this sweep ever ships a port's partial batches.
     while (true) {
-      {
-        std::lock_guard<std::mutex> lock(ingress_mu_);
-        plane_->outbox(plane_->external_producer())->FlushAll();
-      }
+      FlushAllPorts();
       std::unique_lock<std::mutex> lock(idle_mu_);
       if (idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
             return inflight_.load(std::memory_order_acquire) == 0;
@@ -213,8 +400,9 @@ void ThreadEngine::WaitQuiescent() {
 }
 
 void ThreadEngine::Shutdown() {
-  if (!started_ || shut_down_) return;
-  shut_down_ = true;
+  if (!started_ || shut_down_.exchange(true)) return;
+  // The flag is up before the final drain, so ports and the Post shim start
+  // rejecting while everything already accepted still gets processed.
   WaitQuiescent();
   if (mode_ == ExchangeMode::kBatched) {
     plane_->Close();

@@ -21,6 +21,16 @@
 // batcher) and decremented after OnMessage — batched mode decrements once
 // per batch. Workers flush their own outboxes whenever their inbox runs dry,
 // so counted-but-buffered envelopes always drain.
+//
+// Ingress: OpenIngress hands out IngressPort handles, each owning a
+// dedicated external producer slot in the plane (its own per-consumer SPSC
+// rings, batcher, and credit accounts), so N driver threads holding N ports
+// never contend with each other. A port carries a private mutex, but it only
+// serializes the port's single producer against the engine's WaitQuiescent
+// port sweep — ports never share a lock. The deprecated Engine::Post is a
+// shim over one shared default port (slot ExchangePlane::external_producer),
+// whose lock is exactly the old global ingress_mu_ — concurrent Post callers
+// serialize there, which is the contention the port API removes.
 
 #pragma once
 
@@ -42,21 +52,26 @@ enum class ExchangeMode { kBatched, kLegacyChannel };
 class ThreadEngine : public Engine {
  public:
   /// Batched exchange with default config.
-  ThreadEngine() : ThreadEngine(ExchangeConfig{}) {}
+  ThreadEngine();
 
   /// Batched exchange with explicit batching/credit config.
-  explicit ThreadEngine(const ExchangeConfig& config)
-      : mode_(ExchangeMode::kBatched), exchange_config_(config) {}
+  explicit ThreadEngine(const ExchangeConfig& config);
 
   /// Legacy mutex-channel plane; max_inflight globally throttles external
   /// Post() calls (workers never block).
-  explicit ThreadEngine(size_t max_inflight)
-      : mode_(ExchangeMode::kLegacyChannel), max_inflight_(max_inflight) {}
+  explicit ThreadEngine(size_t max_inflight);
 
   ~ThreadEngine() override;
 
   int AddTask(std::unique_ptr<Task> task) override;
   void Start() override;
+  /// Opens a dedicated ingress lane (see IngressPort in task.h). Batched
+  /// mode: requires Start() first and a free slot (ExchangeConfig::
+  /// max_ingress_ports). Legacy mode: ports share the channel plane and the
+  /// global throttle, so the handle is a compatibility veneer, not a
+  /// contention win.
+  std::unique_ptr<IngressPort> OpenIngress(int to) override;
+  /// DEPRECATED shim over the shared default ingress port (see task.h).
   void Post(int to, Envelope msg) override;
   void WaitQuiescent() override;
   void Shutdown() override;
@@ -70,11 +85,21 @@ class ThreadEngine : public Engine {
  private:
   class BatchedContext;
   class LegacyContext;
+  class PortImpl;
 
   void WorkerLoop(int id);
   void LegacyWorkerLoop(int id);
   void IncInflight(uint64_t n = 1);
   void DecInflight(uint64_t n = 1);
+
+  bool PortPost(PortImpl& port, int to, Envelope msg);
+  bool PortPostBatch(PortImpl& port, int to, TupleBatch&& batch);
+  void PortFlush(PortImpl& port);
+  void ClosePort(PortImpl* port);
+  bool LegacyPost(int to, Envelope msg);
+  /// Ships every registered port's buffered batches (each under that port's
+  /// own lock). Only the WaitQuiescent sweep uses it.
+  void FlushAllPorts();
 
   const ExchangeMode mode_;
   ExchangeConfig exchange_config_;
@@ -86,12 +111,18 @@ class ThreadEngine : public Engine {
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;
   bool started_ = false;
-  bool shut_down_ = false;
+  std::atomic<bool> shut_down_{false};
 
   // Batched plane.
   std::unique_ptr<ExchangePlane> plane_;
-  std::mutex ingress_mu_;  // serializes external Post()/flush on the plane
-  uint64_t ingress_posts_ = 0;  // guarded by ingress_mu_
+
+  // Ingress ports. ports_mu_ guards the registry (open/close/sweep); each
+  // port's payload is guarded by its own lock.
+  std::mutex ports_mu_;
+  std::vector<PortImpl*> ports_;
+  size_t next_port_slot_ = 0;              // guarded by ports_mu_
+  std::vector<size_t> free_port_slots_;    // closed ports' slots, reusable
+  std::unique_ptr<PortImpl> default_port_; // the deprecated Post shim's lane
 
   // Legacy plane.
   std::vector<std::unique_ptr<Channel>> channels_;

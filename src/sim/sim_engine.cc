@@ -22,8 +22,53 @@ class SimEngine::SimContext : public Context {
   int self_;
 };
 
+// Deterministic port: a stateless shim onto the engine's FIFO queue. See
+// the OpenIngress doc comment for the contract it preserves.
+class SimEngine::SimPort : public IngressPort {
+ public:
+  SimPort(SimEngine* engine, int to) : engine_(engine), to_(to) {}
+
+  int to() const override { return to_; }
+
+  using IngressPort::Post;
+  using IngressPort::PostBatch;
+
+  bool Post(int to, Envelope msg) override {
+    if (engine_->shut_down_) return false;
+    AJOIN_CHECK_MSG(to >= 0 && to < static_cast<int>(engine_->tasks_.size()),
+                    "Post to unknown task");
+    engine_->queue_.emplace_back(to, std::move(msg));
+    return true;
+  }
+
+  bool PostBatch(int to, TupleBatch&& batch) override {
+    if (engine_->shut_down_) return false;
+    // One enqueue per envelope, in order: exactly what a per-tuple driver
+    // would have produced, so simulator runs stay deterministic and
+    // per-tuple drain cadences observe every envelope.
+    for (Envelope& msg : batch.items) {
+      if (!Post(to, std::move(msg))) return false;
+    }
+    batch.Clear();
+    return true;
+  }
+
+  void Flush() override {}
+
+ private:
+  SimEngine* engine_;
+  const int to_;
+};
+
+std::unique_ptr<IngressPort> SimEngine::OpenIngress(int to) {
+  AJOIN_CHECK_MSG(to >= 0 && to < static_cast<int>(tasks_.size()),
+                  "OpenIngress: unknown destination task");
+  return std::make_unique<SimPort>(this, to);
+}
+
 void SimEngine::Post(int to, Envelope msg) {
-  queue_.emplace_back(to, std::move(msg));
+  if (default_port_ == nullptr) default_port_ = OpenIngress(to);
+  (void)default_port_->Post(to, std::move(msg));  // dropped after Shutdown
 }
 
 void SimEngine::WaitQuiescent() {

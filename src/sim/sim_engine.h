@@ -26,12 +26,24 @@ class SimEngine : public Engine {
 
   void Start() override {}
 
+  /// Deterministic ingress port: Post enqueues exactly like Engine::Post
+  /// did, PostBatch enqueues the batch's envelopes one by one in order (so
+  /// per-tuple semantics — and a driver's drain_every cadence — are
+  /// preserved), Flush is a no-op (nothing is ever buffered). May be opened
+  /// at any time; any number of ports.
+  std::unique_ptr<IngressPort> OpenIngress(int to) override;
+
+  /// DEPRECATED shim over a lazily-opened default port (see task.h). After
+  /// Shutdown() the message is dropped.
   void Post(int to, Envelope msg) override;
 
   /// Drains the queue to empty, dispatching in FIFO order.
   void WaitQuiescent() override;
 
-  void Shutdown() override {}
+  /// Marks the engine shut down: subsequent Post/PostBatch reject (ports
+  /// return false, the Post shim drops). Messages accepted earlier still
+  /// drain at the next WaitQuiescent, mirroring the threaded engine.
+  void Shutdown() override { shut_down_ = true; }
 
   Task* task(int id) override { return tasks_[static_cast<size_t>(id)].get(); }
 
@@ -42,12 +54,15 @@ class SimEngine : public Engine {
 
  private:
   class SimContext;
+  class SimPort;
 
   std::vector<std::unique_ptr<Task>> tasks_;
   std::deque<std::pair<int, Envelope>> queue_;
+  std::unique_ptr<IngressPort> default_port_;  // backs the Post shim
   uint64_t logical_time_ = 0;
   uint64_t dispatched_ = 0;
   bool draining_ = false;
+  bool shut_down_ = false;
 };
 
 }  // namespace ajoin

@@ -118,6 +118,24 @@ TEST(Driver, IlfBalanceAcrossJoiners) {
       << "grid routing should balance even under heavy key skew";
 }
 
+TEST(Driver, IngressBatchingPreservesOutputs) {
+  // Size-targeted ingress batches (the threaded-run default when
+  // drain_every == 0) must produce the same join output and input count as
+  // per-tuple posts; only the arrival interleaving may differ.
+  Workload w = SmallWorkload(1000, 10000);
+  auto run = [&](uint32_t ingress_batch) {
+    RunOptions opts;
+    opts.drain_every = 0;
+    opts.ingress_batch = ingress_batch;
+    return RunOp(w, BaseCfg(w, 16), opts);
+  };
+  RunResult per_tuple = run(1);
+  RunResult batched = run(64);
+  EXPECT_EQ(batched.input_tuples, per_tuple.input_tuples);
+  EXPECT_EQ(batched.outputs, per_tuple.outputs);
+  EXPECT_GT(batched.outputs, 0u);
+}
+
 TEST(Driver, MigrationLogExposed) {
   Workload w = SmallWorkload(500, 30000);
   RunOptions opts;

@@ -1,9 +1,13 @@
 // Engine tests: FIFO/determinism of the simulator, quiescence and ordering
-// guarantees of the threaded engine.
+// guarantees of the threaded engine, and the IngressPort contract (per-port
+// FIFO, batch delivery, post-Shutdown rejection) on both engines and both
+// exchange planes.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "src/runtime/task.h"
@@ -152,6 +156,188 @@ TEST(ThreadEngine, ThrottleDoesNotDeadlock) {
   // Each post fans out to the sink twice (seq 2, non-recursive at the sink).
   EXPECT_EQ(sink->seen().size(), 4000u);
   engine.Shutdown();
+}
+
+TupleBatch SeqBatch(uint64_t first, uint64_t count) {
+  TupleBatch batch;
+  for (uint64_t i = 0; i < count; ++i) batch.Add(SeqMsg(first + i));
+  return batch;
+}
+
+// A port must deliver exactly what Post delivered, in the same per-edge
+// order, on the deterministic engine — and PostBatch must unpack to the
+// same per-tuple queue entries (same dispatched count).
+TEST(SimEngine, IngressPortMatchesPost) {
+  auto run = [](bool use_port, bool use_batches) {
+    SimEngine engine;
+    auto* task = new RecorderTask();
+    engine.AddTask(std::unique_ptr<Task>(task));
+    engine.Start();
+    if (use_port) {
+      std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
+      EXPECT_EQ(port->to(), 0);
+      if (use_batches) {
+        for (uint64_t i = 0; i < 100; i += 10) {
+          EXPECT_TRUE(port->PostBatch(SeqBatch(i, 10)));
+        }
+      } else {
+        for (uint64_t i = 0; i < 100; ++i) EXPECT_TRUE(port->Post(SeqMsg(i)));
+      }
+      port->Flush();
+    } else {
+      for (uint64_t i = 0; i < 100; ++i) engine.Post(0, SeqMsg(i));
+    }
+    engine.WaitQuiescent();
+    EXPECT_EQ(engine.dispatched(), 100u);
+    return task->seen();
+  };
+  const std::vector<uint64_t> want = run(false, false);
+  EXPECT_EQ(run(true, false), want);
+  EXPECT_EQ(run(true, true), want);
+}
+
+// Post/PostBatch after Shutdown() must reject cleanly (return false, drop
+// the message) instead of UB — matching Channel::Push post-Close semantics.
+TEST(SimEngine, PostAfterShutdownRejects) {
+  SimEngine engine;
+  auto* task = new RecorderTask();
+  engine.AddTask(std::unique_ptr<Task>(task));
+  engine.Start();
+  std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
+  ASSERT_TRUE(port->Post(SeqMsg(1)));
+  engine.WaitQuiescent();
+  engine.Shutdown();
+  EXPECT_FALSE(port->Post(SeqMsg(2)));
+  EXPECT_FALSE(port->PostBatch(SeqBatch(3, 4)));
+  engine.Post(0, SeqMsg(5));  // deprecated shim: dropped, no crash
+  engine.WaitQuiescent();
+  EXPECT_EQ(task->seen(), (std::vector<uint64_t>{1}));
+}
+
+// Same per-edge FIFO guarantee through a port as through Post, on both
+// threaded planes, for both Post and PostBatch.
+TEST(ThreadEngine, IngressPortFifo) {
+  for (bool batched : {false, true}) {
+    for (bool use_batches : {false, true}) {
+      std::unique_ptr<ThreadEngine> engine = MakeThreadEngine(batched);
+      auto* task = new RecorderTask();
+      engine->AddTask(std::unique_ptr<Task>(task));
+      engine->Start();
+      std::unique_ptr<IngressPort> port = engine->OpenIngress(0);
+      if (use_batches) {
+        for (uint64_t i = 0; i < 10000; i += 100) {
+          ASSERT_TRUE(port->PostBatch(SeqBatch(i, 100)));
+        }
+      } else {
+        for (uint64_t i = 0; i < 10000; ++i) {
+          ASSERT_TRUE(port->Post(SeqMsg(i)));
+        }
+      }
+      port->Flush();
+      engine->WaitQuiescent();
+      ASSERT_EQ(task->seen().size(), 10000u)
+          << "batched=" << batched << " use_batches=" << use_batches;
+      for (uint64_t i = 0; i < 10000; ++i) ASSERT_EQ(task->seen()[i], i);
+      engine->Shutdown();
+    }
+  }
+}
+
+// WaitQuiescent must cover envelopes still buffered in an un-flushed port's
+// batcher (the registered-port sweep), exactly as it does for the default
+// Post lane.
+TEST(ThreadEngine, QuiescenceFlushesBufferedPort) {
+  ExchangeConfig config;
+  config.batch_size = 1000;
+  config.flush_deadline_us = 60ull * 1000 * 1000;  // effectively never
+  ThreadEngine engine(config);
+  auto* task = new RecorderTask();
+  engine.AddTask(std::unique_ptr<Task>(task));
+  engine.Start();
+  std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
+  for (uint64_t i = 0; i < 7; ++i) ASSERT_TRUE(port->Post(SeqMsg(i)));
+  // No explicit Flush: the quiescence sweep must ship the partial batch.
+  engine.WaitQuiescent();
+  EXPECT_EQ(task->seen().size(), 7u);
+  engine.Shutdown();
+}
+
+// Post/PostBatch after Shutdown on the threaded engine: rejected cleanly on
+// both planes, including the deprecated Post shim, with no crash or hang.
+TEST(ThreadEngine, PostAfterShutdownRejects) {
+  for (bool batched : {false, true}) {
+    std::unique_ptr<ThreadEngine> engine = MakeThreadEngine(batched);
+    auto* task = new RecorderTask();
+    engine->AddTask(std::unique_ptr<Task>(task));
+    engine->Start();
+    std::unique_ptr<IngressPort> port = engine->OpenIngress(0);
+    ASSERT_TRUE(port->Post(SeqMsg(1)));
+    engine->WaitQuiescent();
+    engine->Shutdown();
+    EXPECT_FALSE(port->Post(SeqMsg(2))) << "batched=" << batched;
+    EXPECT_FALSE(port->PostBatch(SeqBatch(3, 4))) << "batched=" << batched;
+    port->Flush();                   // no-op after shutdown, must not crash
+    engine->Post(0, SeqMsg(5));      // deprecated shim: dropped
+    EXPECT_EQ(task->seen(), (std::vector<uint64_t>{1}))
+        << "batched=" << batched;
+  }
+}
+
+// Closed ports return their producer slot: max_ingress_ports bounds the
+// ports open at once, not the total opened over the engine's lifetime, so
+// an open-post-close cycle per producer epoch keeps working indefinitely.
+TEST(ThreadEngine, ClosedPortSlotsAreReused) {
+  ExchangeConfig config;
+  config.max_ingress_ports = 2;
+  ThreadEngine engine(config);
+  auto* task = new RecorderTask();
+  engine.AddTask(std::unique_ptr<Task>(task));
+  engine.Start();
+  for (uint64_t cycle = 0; cycle < 10; ++cycle) {
+    std::unique_ptr<IngressPort> a = engine.OpenIngress(0);
+    std::unique_ptr<IngressPort> b = engine.OpenIngress(0);
+    ASSERT_TRUE(a->Post(SeqMsg(2 * cycle)));
+    ASSERT_TRUE(b->Post(SeqMsg(2 * cycle + 1)));
+    // Destructors flush and free both slots for the next cycle.
+  }
+  engine.WaitQuiescent();
+  EXPECT_EQ(task->seen().size(), 20u);
+  engine.Shutdown();
+}
+
+// Two ports into the same consumer from two threads: all envelopes arrive,
+// and each port's own sequence stays in order (per-edge FIFO); the global
+// interleaving is unspecified.
+TEST(ThreadEngine, TwoPortsInterleaveWithPerPortFifo) {
+  for (bool batched : {false, true}) {
+    std::unique_ptr<ThreadEngine> engine = MakeThreadEngine(batched);
+    auto* task = new RecorderTask();
+    engine->AddTask(std::unique_ptr<Task>(task));
+    engine->Start();
+    constexpr uint64_t kPerPort = 5000;
+    auto producer = [&engine](uint64_t base) {
+      std::unique_ptr<IngressPort> port = engine->OpenIngress(0);
+      for (uint64_t i = 0; i < kPerPort; ++i) {
+        ASSERT_TRUE(port->Post(SeqMsg(base + i)));
+      }
+      port->Flush();
+    };
+    std::thread t1(producer, 0);
+    std::thread t2(producer, kPerPort);
+    t1.join();
+    t2.join();
+    engine->WaitQuiescent();
+    ASSERT_EQ(task->seen().size(), 2 * kPerPort) << "batched=" << batched;
+    uint64_t next_a = 0, next_b = kPerPort;
+    for (uint64_t seq : task->seen()) {
+      if (seq < kPerPort) {
+        ASSERT_EQ(seq, next_a++);
+      } else {
+        ASSERT_EQ(seq, next_b++);
+      }
+    }
+    engine->Shutdown();
+  }
 }
 
 TEST(ThreadEngine, ManyTasksShutdownCleanly) {

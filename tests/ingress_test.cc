@@ -1,0 +1,189 @@
+// Multi-producer ingress stress: N driver threads, each holding its own
+// IngressPort, feed one adaptive join while migrations run live. The join
+// output (the multiset of matched (r_seq, s_seq) pairs) must be identical to
+// a single-port run of the same stream — the pairs a symmetric join emits do
+// not depend on arrival interleaving, so any divergence means the ingress
+// plane lost, duplicated, or reordered something it may not.
+//
+// Producers interleave control and data on their ports: data ships as
+// PostBatch runs with a sprinkle of per-envelope Posts, and one producer
+// periodically drives kCheckpoint (a control singleton) through its port,
+// which triggers controller decisions — so migrations overlap multi-port
+// ingress by construction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/operator.h"
+#include "src/runtime/thread_engine.h"
+
+namespace ajoin {
+namespace {
+
+constexpr int kProducers = 4;
+
+std::vector<StreamTuple> MakeStream(uint64_t n, int64_t key_domain,
+                                    uint64_t seed) {
+  std::vector<StreamTuple> out;
+  out.reserve(n);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < n; ++i) {
+    StreamTuple t;
+    t.rel = rng.NextBool(0.3) ? Rel::kR : Rel::kS;
+    t.key = static_cast<int64_t>(
+        rng.Uniform(static_cast<uint64_t>(key_domain)));
+    t.bytes = 16;
+    out.push_back(t);
+  }
+  return out;
+}
+
+OperatorConfig AdaptiveConfig(uint32_t machines) {
+  OperatorConfig cfg;
+  cfg.spec = MakeEquiJoin(0, 0);
+  cfg.machines = machines;
+  cfg.adaptive = true;
+  cfg.epsilon = 0.25;  // aggressive: migrations overlap the ingest
+  cfg.min_total_before_adapt = 16;
+  cfg.collect_pairs = true;
+  return cfg;
+}
+
+// The input envelope JoinOperator::Push builds, with an explicit sequence
+// number so multi-producer runs assign the same seq to the same logical
+// tuple as the single-port reference run.
+Envelope InputEnvelope(const StreamTuple& tuple, uint64_t seq) {
+  Envelope env;
+  env.type = MsgType::kInput;
+  env.rel = tuple.rel;
+  env.key = tuple.key;
+  env.bytes = tuple.bytes;
+  env.seq = seq;
+  return env;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> RunSinglePort(
+    const std::vector<StreamTuple>& stream, const ExchangeConfig& exchange,
+    uint32_t machines, uint64_t* migrations) {
+  ThreadEngine engine(exchange);
+  JoinOperator op(engine, AdaptiveConfig(machines));
+  engine.Start();
+  for (const StreamTuple& t : stream) op.Push(t);
+  op.SendEos();
+  engine.WaitQuiescent();
+  auto pairs = op.CollectPairs();
+  if (migrations != nullptr && op.controller() != nullptr) {
+    *migrations = op.controller()->log().size();
+  }
+  engine.Shutdown();
+  return pairs;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> RunMultiPort(
+    const std::vector<StreamTuple>& stream, const ExchangeConfig& exchange,
+    uint32_t machines, uint64_t* migrations) {
+  ThreadEngine engine(exchange);
+  JoinOperator op(engine, AdaptiveConfig(machines));
+  engine.Start();
+  const uint32_t num_reshufflers = op.num_reshufflers();
+
+  // Producer p owns stream indexes p, p + kProducers, ... — per-port FIFO
+  // holds within each slice, while the slices race each other freely.
+  auto producer = [&](int p) {
+    std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
+    std::vector<TupleBatch> staged(num_reshufflers);
+    uint64_t batched = 0;
+    for (uint64_t i = static_cast<uint64_t>(p); i < stream.size();
+         i += kProducers) {
+      Envelope env = InputEnvelope(stream[i], i);
+      const int r = JoinOperator::ReshufflerFor(i, num_reshufflers);
+      // Mostly batched runs, with every 7th tuple sent per-envelope so
+      // single Posts interleave with PostBatch runs on the same edges.
+      if (i % 7 == 0) {
+        ASSERT_TRUE(port->Post(r, std::move(env)));
+        continue;
+      }
+      TupleBatch& run = staged[static_cast<size_t>(r)];
+      run.Add(std::move(env));
+      if (run.size() >= 16) {
+        ASSERT_TRUE(port->PostBatch(r, std::move(run)));
+        run.Clear();
+        // Producer 0 interleaves control with its data: a checkpoint to
+        // the controller every few shipped batches forces migration
+        // decisions while all four ports are live.
+        if (p == 0 && (++batched & 3u) == 0) {
+          Envelope ckpt;
+          ckpt.type = MsgType::kCheckpoint;
+          ASSERT_TRUE(port->Post(0, std::move(ckpt)));
+        }
+      }
+    }
+    for (size_t r = 0; r < staged.size(); ++r) {
+      if (staged[r].empty()) continue;
+      ASSERT_TRUE(port->PostBatch(static_cast<int>(r), std::move(staged[r])));
+    }
+    port->Flush();
+  };
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) threads.emplace_back(producer, p);
+  for (std::thread& t : threads) t.join();
+
+  // All ports flushed; drain before EOS so end-of-stream (which travels on
+  // the operator's own port, a different edge) cannot overtake data still
+  // queued from the producer ports.
+  engine.WaitQuiescent();
+  op.SendEos();
+  engine.WaitQuiescent();
+  auto pairs = op.CollectPairs();
+  if (migrations != nullptr && op.controller() != nullptr) {
+    *migrations = op.controller()->log().size();
+  }
+  engine.Shutdown();
+  return pairs;
+}
+
+TEST(MultiPortIngress, FourProducersMatchSinglePortAcrossMigrations) {
+  auto stream = MakeStream(6000, 24, 97);
+  ExchangeConfig exchange;  // default plane
+  exchange.max_ingress_ports = kProducers + 1;  // +1: the operator's port
+  uint64_t migrations_single = 0;
+  auto want =
+      RunSinglePort(stream, exchange, /*machines=*/8, &migrations_single);
+  EXPECT_GE(migrations_single, 1u);
+  for (int round = 0; round < 3; ++round) {
+    uint64_t migrations_multi = 0;
+    auto got = RunMultiPort(stream, exchange, /*machines=*/8,
+                            &migrations_multi);
+    ASSERT_EQ(got, want) << "round " << round;
+    EXPECT_GE(migrations_multi, 1u) << "round " << round;
+  }
+}
+
+// The same equivalence under a stress plane: tiny batches, a 2-slot credit
+// window (so producer ports hit credit stalls), and a short deadline — the
+// shapes that historically shake out ordering bugs.
+TEST(MultiPortIngress, FourProducersTinyBatchesAndCreditStalls) {
+  auto stream = MakeStream(3000, 16, 131);
+  ExchangeConfig exchange;
+  exchange.batch_size = 5;
+  exchange.ring_slots = 2;
+  exchange.flush_deadline_us = 50;
+  exchange.max_ingress_ports = kProducers + 1;
+  uint64_t migrations_single = 0;
+  auto want =
+      RunSinglePort(stream, exchange, /*machines=*/8, &migrations_single);
+  uint64_t migrations_multi = 0;
+  auto got =
+      RunMultiPort(stream, exchange, /*machines=*/8, &migrations_multi);
+  ASSERT_EQ(got, want);
+  EXPECT_GE(migrations_single + migrations_multi, 1u);
+}
+
+}  // namespace
+}  // namespace ajoin

@@ -104,7 +104,7 @@ std::unique_ptr<ThreadEngine> MakeEngine(Plane plane) {
 std::vector<std::pair<uint64_t, uint64_t>> RunThreaded(
     const std::vector<StreamTuple>& stream, const JoinSpec& spec,
     uint32_t machines, double epsilon, uint64_t* migrations = nullptr,
-    Plane plane = Plane::kBatched) {
+    Plane plane = Plane::kBatched, uint32_t ingress_batch = 1) {
   std::unique_ptr<ThreadEngine> engine_ptr = MakeEngine(plane);
   ThreadEngine& engine = *engine_ptr;
   OperatorConfig cfg;
@@ -116,6 +116,7 @@ std::vector<std::pair<uint64_t, uint64_t>> RunThreaded(
   cfg.collect_pairs = true;
   JoinOperator op(engine, cfg);
   engine.Start();
+  op.SetIngressBatch(ingress_batch);
   for (const StreamTuple& t : stream) op.Push(t);
   op.SendEos();
   engine.WaitQuiescent();
@@ -131,11 +132,18 @@ TEST(OperatorThread, EquiJoinExact) {
   JoinSpec spec = MakeEquiJoin(0, 0);
   auto stream = MakeStream(300, 900, 20, 21);
   auto want = ReferencePairs(stream, spec);
-  for (Plane plane : kAllPlanes) {
-    uint64_t migrations = 0;
-    auto got = RunThreaded(stream, spec, 8, 1.0, &migrations, plane);
-    EXPECT_EQ(got, want) << PlaneName(plane);
-    EXPECT_GE(migrations, 1u) << PlaneName(plane);
+  // Swept over per-tuple and size-targeted ingress: driving the operator
+  // through IngressPort::PostBatch must be output-equivalent to per-tuple
+  // Post on every exchange plane.
+  for (uint32_t ingress_batch : {1u, 16u}) {
+    for (Plane plane : kAllPlanes) {
+      uint64_t migrations = 0;
+      auto got = RunThreaded(stream, spec, 8, 1.0, &migrations, plane,
+                             ingress_batch);
+      EXPECT_EQ(got, want) << PlaneName(plane) << " ingress=" << ingress_batch;
+      EXPECT_GE(migrations, 1u)
+          << PlaneName(plane) << " ingress=" << ingress_batch;
+    }
   }
 }
 

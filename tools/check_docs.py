@@ -8,6 +8,11 @@
    each such declaration must be a comment line. This keeps the OnBatch
    contract (default loop, no-mixed-epoch precondition, migration fallback)
    documented where implementers see it.
+3. Every public method of the external API classes in src/runtime/task.h
+   (IngressPort, Engine) must carry a doc comment: the post-Shutdown
+   rejection contract, the per-port threading rules, and the Post
+   deprecation live in those comments, so an undocumented method is a
+   contract hole.
 
 Exit code 0 = clean; 1 = findings (printed one per line).
 """
@@ -63,8 +68,67 @@ def check_onbatch_doc_comments():
     return errors
 
 
+API_HEADER = "src/runtime/task.h"
+API_CLASSES = ("IngressPort", "Engine")
+METHOD_RE = re.compile(r"^(virtual\s+)?[A-Za-z_][\w:<>,&*\s]*\(")
+
+
+def check_api_doc_comments():
+    """Public IngressPort/Engine methods in task.h need doc comments."""
+    errors = []
+    path = REPO / API_HEADER
+    if not path.exists():
+        return [f"{API_HEADER}: missing (API doc check has no target)"]
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for cls in API_CLASSES:
+        class_re = re.compile(rf"^class {cls}\b")
+        start = next((i for i, ln in enumerate(lines)
+                      if class_re.match(ln.strip())), None)
+        if start is None:
+            errors.append(f"{API_HEADER}: class {cls} not found")
+            continue
+        depth = 0
+        public = False
+        in_body = False
+        for idx in range(start, len(lines)):
+            line = lines[idx]
+            stripped = line.strip()
+            at_member_level = depth == 1
+            depth += line.count("{") - line.count("}")
+            if depth > 0:
+                in_body = True
+            elif in_body:
+                break  # end of class
+            if not at_member_level or not in_body:
+                continue
+            if stripped.startswith("public:"):
+                public = True
+                continue
+            if stripped.startswith(("private:", "protected:")):
+                public = False
+                continue
+            if not public or stripped.startswith("//"):
+                continue
+            # Constructors/destructors/operators are structural; the
+            # documented contract lives on the named methods.
+            if ("~" in stripped or "operator" in stripped
+                    or stripped.startswith(cls + "(")):
+                continue
+            if not METHOD_RE.match(stripped):
+                continue
+            prev = idx - 1
+            while prev >= 0 and not lines[prev].strip():
+                prev -= 1
+            if prev < 0 or not lines[prev].strip().startswith("//"):
+                errors.append(
+                    f"{API_HEADER}:{idx + 1}: public {cls} method without a "
+                    "doc comment")
+    return errors
+
+
 def main():
-    errors = check_links() + check_onbatch_doc_comments()
+    errors = (check_links() + check_onbatch_doc_comments()
+              + check_api_doc_comments())
     for error in errors:
         print(error)
     if errors:
