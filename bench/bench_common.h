@@ -184,10 +184,28 @@ class JsonRow {
   std::vector<std::pair<std::string, std::string>> fields_;  // key -> literal
 };
 
+// Build provenance injected by CMake onto every bench target; defaults keep
+// the header compilable outside the bench build (e.g. tooling includes).
+#ifndef AJOIN_BENCH_COMMIT
+#define AJOIN_BENCH_COMMIT "unknown"
+#endif
+#ifndef AJOIN_BENCH_BUILD_TYPE
+#define AJOIN_BENCH_BUILD_TYPE "unknown"
+#endif
+#ifndef AJOIN_BENCH_CXX_FLAGS
+#define AJOIN_BENCH_CXX_FLAGS "unknown"
+#endif
+
 class JsonResult {
  public:
   explicit JsonResult(std::string bench_name)
-      : bench_name_(std::move(bench_name)) {}
+      : bench_name_(std::move(bench_name)) {
+    // Every BENCH_*.json carries the commit, build type, and compiler flags
+    // it was measured under, so numbers are comparable across PRs.
+    meta_.Add("commit", AJOIN_BENCH_COMMIT)
+        .Add("build_type", AJOIN_BENCH_BUILD_TYPE)
+        .Add("cxx_flags", AJOIN_BENCH_CXX_FLAGS);
+  }
 
   /// Top-level metadata (dataset, calibration, units, ...).
   JsonRow& meta() { return meta_; }

@@ -11,15 +11,17 @@
 //     tasks; isolates pure exchange cost (no join work). Batched exchange
 //     must move >= 3x the tuples/sec of per-tuple exchange here.
 //  2. ingress scaling — the `ingress` axis: N concurrent producer threads
-//     drive the same fan-out through the deprecated global Engine::Post
-//     shim (`post`: every caller serializes on the shared default port's
-//     lock), through one IngressPort each with per-envelope Post (`port`:
-//     dedicated SPSC lanes, isolates the removed serialization point), or
-//     through one IngressPort each posting size-targeted PostBatch runs
-//     (`port-batch`: the batch ingress the old single-envelope API could
-//     not express). port-batch must show a measurable gain at >= 2
-//     producers on any host; plain port-vs-post is contention-bound and
-//     reaches parity on a single-core host.
+//     drive the same fan-out through one shared IngressPort behind a mutex
+//     (`post`: every caller serializes on the shared port's lock — the
+//     exact pattern of the now-retired global Engine::Post shim, emulated
+//     without the deprecated API), through one IngressPort each with
+//     per-envelope Post (`port`: dedicated SPSC lanes, isolates the
+//     removed serialization point), or through one IngressPort each
+//     posting size-targeted PostBatch runs (`port-batch`: the batch
+//     ingress the old single-envelope API could not express). port-batch
+//     must show a measurable gain at >= 2 producers on any host; plain
+//     port-vs-post is contention-bound and reaches parity on a
+//     single-core host.
 //  3. 4-joiner join run — a static (n,m)-mapped equi-join on ThreadEngine.
 //     End-to-end tuples/sec is reported as-is, but on a small host the run
 //     is compute-bound (probe/store/index work), so the exchange comparison
@@ -35,6 +37,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -97,14 +100,16 @@ double RawFanout(const Mode& mode, int sinks, uint64_t envelopes) {
     engine->AddTask(std::make_unique<SinkTask>());
   }
   engine->Start();
+  std::unique_ptr<IngressPort> port = engine->OpenIngress(0);
   Stopwatch clock;
   Envelope env;
   env.type = MsgType::kInput;
   for (uint64_t i = 0; i < envelopes; ++i) {
     env.seq = i;
-    engine->Post(static_cast<int>(i % static_cast<uint64_t>(sinks)),
-                 Envelope(env));
+    port->Post(static_cast<int>(i % static_cast<uint64_t>(sinks)),
+               Envelope(env));
   }
+  port->Flush();
   engine->WaitQuiescent();
   double secs = clock.ElapsedSeconds();
   engine->Shutdown();
@@ -114,8 +119,11 @@ double RawFanout(const Mode& mode, int sinks, uint64_t envelopes) {
 /// Section 2 ingress modes. The old API could only ever post one envelope
 /// at a time through the global shim; the port API adds both the dedicated
 /// per-producer lane and batch posting, so both are measured:
-///  - kGlobalPost: every producer thread calls Engine::Post — all of them
-///    serialize on the shared default port's lock (the old ingress_mu_).
+///  - kGlobalPost: every producer thread posts through ONE shared
+///    IngressPort behind a mutex — the serialization pattern of the
+///    retired Engine::Post shim (shared default port + global lock),
+///    emulated without the deprecated API so the axis stays comparable
+///    across PRs after the shim's bench call sites were migrated.
 ///  - kPortPost: one IngressPort per producer, per-envelope Post. Isolates
 ///    the serialization point alone; the win is contention-bound, so
 ///    expect parity on a single-core host and growth with real cores.
@@ -146,20 +154,27 @@ double IngressScaling(IngressMode mode, int producers, int sinks,
     engine.AddTask(std::make_unique<SinkTask>());
   }
   engine.Start();
+  // The `post` mode's shared serialization point: one port, one lock, all
+  // producers — what the retired Engine::Post shim did internally.
+  std::unique_ptr<IngressPort> shared_port;
+  std::mutex shared_mu;
+  if (mode == IngressMode::kGlobalPost) shared_port = engine.OpenIngress(0);
   const uint64_t per_producer = envelopes / static_cast<uint64_t>(producers);
   Stopwatch clock;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(producers));
   for (int p = 0; p < producers; ++p) {
-    threads.emplace_back([&engine, &config, mode, sinks, per_producer, p] {
+    threads.emplace_back([&engine, &config, &shared_port, &shared_mu, mode,
+                          sinks, per_producer, p] {
       Envelope env;
       env.type = MsgType::kInput;
       const uint64_t base = static_cast<uint64_t>(p) * per_producer;
       if (mode == IngressMode::kGlobalPost) {
         for (uint64_t i = 0; i < per_producer; ++i) {
           env.seq = base + i;
-          engine.Post(static_cast<int>(i % static_cast<uint64_t>(sinks)),
-                      Envelope(env));
+          std::lock_guard<std::mutex> lock(shared_mu);
+          shared_port->Post(static_cast<int>(i % static_cast<uint64_t>(sinks)),
+                            Envelope(env));
         }
         return;
       }
@@ -192,6 +207,7 @@ double IngressScaling(IngressMode mode, int producers, int sinks,
     });
   }
   for (std::thread& t : threads) t.join();
+  if (shared_port != nullptr) shared_port->Flush();
   engine.WaitQuiescent();
   double secs = clock.ElapsedSeconds();
   engine.Shutdown();
@@ -220,7 +236,7 @@ struct JoinRunResult {
   ExchangeStatsSnapshot stats;
 };
 
-OperatorConfig StaticJoinConfig(uint32_t machines) {
+OperatorConfig StaticJoinConfig(uint32_t machines, bool use_flat_index) {
   OperatorConfig cfg;
   cfg.spec = MakeEquiJoin(0, 0);
   cfg.machines = machines;
@@ -228,6 +244,7 @@ OperatorConfig StaticJoinConfig(uint32_t machines) {
   cfg.initial = MidMapping(machines);
   cfg.use_initial = true;
   cfg.keep_rows = false;
+  cfg.use_flat_index = use_flat_index;
   return cfg;
 }
 
@@ -245,11 +262,12 @@ const Mode kJoinModes[] = {
 /// `reps` to damp scheduler noise; the 4J point carries the overhead metric
 /// and gets extra reps.
 JoinRunResult JoinRun(const Mode& mode, uint32_t machines,
-                      const std::vector<StreamTuple>& stream, int reps = 3) {
+                      const std::vector<StreamTuple>& stream, int reps = 3,
+                      bool use_flat_index = true) {
   JoinRunResult result;
   for (int rep = 0; rep < reps; ++rep) {
     std::unique_ptr<ThreadEngine> engine = MakeEngine(mode);
-    JoinOperator op(*engine, StaticJoinConfig(machines));
+    JoinOperator op(*engine, StaticJoinConfig(machines, use_flat_index));
     engine->Start();
     Stopwatch clock;
     for (const StreamTuple& t : stream) op.Push(t);
@@ -274,7 +292,7 @@ double SimCeiling(uint32_t machines, const std::vector<StreamTuple>& stream,
   double best = 0;
   for (int rep = 0; rep < reps; ++rep) {
     SimEngine engine;
-    JoinOperator op(engine, StaticJoinConfig(machines));
+    JoinOperator op(engine, StaticJoinConfig(machines, /*use_flat_index=*/true));
     engine.Start();
     Stopwatch clock;
     for (const StreamTuple& t : stream) op.Push(t);
@@ -299,11 +317,14 @@ int main() {
                    "batches into OnMessage, batch = whole-batch OnBatch into "
                    "the operators; overhead_ns = per-tuple wall time beyond "
                    "the SimEngine compute ceiling; ingress post = all "
-                   "producers through the deprecated global Engine::Post "
-                   "shim, port = one IngressPort (dedicated SPSC lanes) per "
-                   "producer posting per envelope, port-batch = one "
-                   "IngressPort per producer shipping size-targeted "
-                   "PostBatch runs");
+                   "producers serialized on one shared IngressPort behind a "
+                   "mutex (the retired Engine::Post shim's pattern, now "
+                   "emulated without the deprecated API), port = one "
+                   "IngressPort (dedicated SPSC lanes) per producer posting "
+                   "per envelope, port-batch = one IngressPort per producer "
+                   "shipping size-targeted PostBatch runs; index flat = "
+                   "tag-filtered FlatHashIndex (default), chained = baseline "
+                   "HashIndex on the b64 4J points");
 
   // ---- Section 1: pure exchange -------------------------------------------
   bench::PrintHeader("Exchange throughput 1/3: raw fan-out, 4 sinks");
@@ -448,6 +469,7 @@ int main() {
       row.Add("section", "join_4j_static")
           .Add("mode", mode.name)
           .Add("dispatch", DispatchName(mode))
+          .Add("index", "flat")
           .Add("batch_size",
                mode.legacy ? 1 : static_cast<int>(mode.batch_size))
           .Add("machines", static_cast<int>(machines))
@@ -459,6 +481,37 @@ int main() {
       if (machines == 4) row.Add("exchange_overhead_ns", overhead_ns);
     }
     std::printf("   %.0f\n", overhead_4j);
+  }
+
+  // Index axis at the 4J operating point: the identical b64/b256 runs with
+  // the chained baseline index, so the join-index change is visible inside
+  // the exchange bench's end-to-end configuration (all rows above are
+  // `flat`), and cross-PR comparisons have a same-host reference when the
+  // host's absolute speed drifts.
+  std::printf("\n%-12s %10s   (index=chained, 4J)\n", "mode", "tuples/s");
+  const char* kChainedAxisModes[] = {"b64/env", "b64/batch", "b256/batch"};
+  for (const char* mode_name : kChainedAxisModes) {
+    const Mode* found = nullptr;
+    for (const Mode& m : kJoinModes) {
+      if (std::string(m.name) == mode_name) found = &m;
+    }
+    if (found == nullptr) continue;
+    const Mode& mode = *found;
+    JoinRunResult r = JoinRun(mode, 4, stream, /*reps=*/5,
+                              /*use_flat_index=*/false);
+    std::printf("%-12s %10.0f\n", mode.name, r.tuples_per_sec);
+    out.AddRow()
+        .Add("section", "join_4j_static")
+        .Add("mode", mode.name)
+        .Add("dispatch", DispatchName(mode))
+        .Add("index", "chained")
+        .Add("batch_size", static_cast<int>(mode.batch_size))
+        .Add("machines", 4)
+        .Add("tuples", kJoinTuples)
+        .Add("tuples_per_sec", r.tuples_per_sec)
+        .Add("avg_batch_fill", r.stats.avg_batch_fill)
+        .Add("credit_waits", r.stats.credit_waits)
+        .Add("overflow_batches", r.stats.overflow_batches);
   }
 
   // ---- Acceptance summary -------------------------------------------------

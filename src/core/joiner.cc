@@ -10,8 +10,10 @@ namespace ajoin {
 JoinerCore::JoinerCore(JoinerConfig config)
     : config_(std::move(config)),
       layout_(config_.initial_layout),
-      index_{JoinIndex(JoinIndex::KindFor(config_.spec.kind)),
-             JoinIndex(JoinIndex::KindFor(config_.spec.kind))} {}
+      index_{JoinIndex(JoinIndex::KindFor(config_.spec.kind),
+                       JoinIndex::ImplFor(config_.use_flat_index)),
+             JoinIndex(JoinIndex::KindFor(config_.spec.kind),
+                       JoinIndex::ImplFor(config_.use_flat_index))} {}
 
 void JoinerCore::OnMessage(Envelope msg, Context& ctx) {
   switch (msg.type) {
@@ -69,14 +71,19 @@ void JoinerCore::OnBatch(TupleBatch batch, Context& ctx) {
     while (j < n && batch.items[j].rel == rel) ++j;
     // Probes first: a run's tuples all belong to one relation and probe the
     // opposite relation's index, so the run's own (deferred) stores can
-    // never be probe candidates for it.
-    for (size_t k = i; k < j; ++k) {
-      const Envelope& msg = batch.items[k];
-      if (msg.store) {
-        metrics_.in_tuples++;
-        metrics_.in_bytes += msg.bytes;
+    // never be probe candidates for it. Equi runs go through the batched
+    // ProbeRun entry point (prefetch-pipelined on the flat index).
+    if (config_.spec.kind == JoinSpec::Kind::kEqui) {
+      ProbeRunBatch(batch, i, j, ctx);
+    } else {
+      for (size_t k = i; k < j; ++k) {
+        const Envelope& msg = batch.items[k];
+        if (msg.store) {
+          metrics_.in_tuples++;
+          metrics_.in_bytes += msg.bytes;
+        }
+        Probe(msg, Scope::kAll, ctx);
       }
-      Probe(msg, Scope::kAll, ctx);
     }
     // Then the run's inserts, grouped so the index stays hot in cache.
     for (size_t k = i; k < j; ++k) {
@@ -109,29 +116,56 @@ bool JoinerCore::EntryInScope(const StoredEntry& entry, Rel entry_rel,
   return false;
 }
 
+void JoinerCore::MatchAndEmit(const Envelope& msg, const StoredEntry& entry,
+                              Scope scope, Context& ctx) {
+  metrics_.probe_candidates++;
+  if (!EntryInScope(entry, Opposite(msg.rel), scope)) return;
+  bool match;
+  if (msg.has_row && entry.has_row) {
+    match = (msg.rel == Rel::kR) ? config_.spec.Matches(msg.row, entry.row)
+                                 : config_.spec.Matches(entry.row, msg.row);
+  } else {
+    // Slim mode: index candidates already satisfy the key predicate for
+    // equi/band; theta requires rows.
+    AJOIN_CHECK_MSG(config_.spec.kind != JoinSpec::Kind::kTheta,
+                    "theta joins require materialized rows");
+    match = true;
+  }
+  if (match) Emit(msg, entry, msg.rel, ctx);
+}
+
 void JoinerCore::Probe(const Envelope& msg, Scope scope, Context& ctx) {
-  const Rel opp = Opposite(msg.rel);
-  const auto opp_i = static_cast<size_t>(opp);
+  const auto opp_i = static_cast<size_t>(Opposite(msg.rel));
   int64_t lo = 0, hi = 0;
   config_.spec.ProbeRange(msg.rel, msg.key, &lo, &hi);
   const auto& entries = entries_[opp_i];
   index_[opp_i].ForEachCandidate(lo, hi, [&](uint64_t id) {
-    const StoredEntry& entry = entries[id];
-    metrics_.probe_candidates++;
-    if (!EntryInScope(entry, opp, scope)) return;
-    bool match;
-    if (msg.has_row && entry.has_row) {
-      match = (msg.rel == Rel::kR) ? config_.spec.Matches(msg.row, entry.row)
-                                   : config_.spec.Matches(entry.row, msg.row);
-    } else {
-      // Slim mode: index candidates already satisfy the key predicate for
-      // equi/band; theta requires rows.
-      AJOIN_CHECK_MSG(config_.spec.kind != JoinSpec::Kind::kTheta,
-                      "theta joins require materialized rows");
-      match = true;
-    }
-    if (match) Emit(msg, entry, msg.rel, ctx);
+    MatchAndEmit(msg, entries[id], scope, ctx);
   });
+}
+
+void JoinerCore::ProbeRunBatch(const TupleBatch& batch, size_t begin,
+                               size_t end, Context& ctx) {
+  // Steady-state (Scope::kAll) equi probes for one same-relation run,
+  // batched so the flat index can pipeline prefetches across the run;
+  // candidates go through the same MatchAndEmit body as scalar Probe().
+  const Rel rel = batch.items[begin].rel;
+  const auto opp_i = static_cast<size_t>(Opposite(rel));
+  probe_keys_.clear();
+  probe_keys_.reserve(end - begin);
+  for (size_t k = begin; k < end; ++k) {
+    const Envelope& msg = batch.items[k];
+    if (msg.store) {
+      metrics_.in_tuples++;
+      metrics_.in_bytes += msg.bytes;
+    }
+    probe_keys_.push_back(msg.key);  // equi ProbeRange is the key itself
+  }
+  const auto& entries = entries_[opp_i];
+  index_[opp_i].ProbeRun(
+      probe_keys_.data(), probe_keys_.size(), [&](size_t pi, uint64_t id) {
+        MatchAndEmit(batch.items[begin + pi], entries[id], Scope::kAll, ctx);
+      });
 }
 
 void JoinerCore::Emit(const Envelope& msg, const StoredEntry& matched,
@@ -395,6 +429,9 @@ void JoinerCore::FinalizeMigration(Context& ctx) {
     metrics_.NoteDropped(dropped, dropped_bytes);
     auto& index = index_[static_cast<size_t>(rel_i)];
     index.Clear();
+    // The absorbed partition's size is known here: pre-size the index so
+    // the rebuild does not rehash/grow mid-migration.
+    index.Reserve(entries.size());
     for (uint64_t id = 0; id < entries.size(); ++id) {
       int64_t index_key =
           (config_.spec.kind == JoinSpec::Kind::kTheta) ? 0 : entries[id].key;
@@ -526,6 +563,7 @@ Status JoinerCore::RestoreState(const std::vector<uint8_t>& buf) {
     entries = std::move(restored[rel_i]);
     auto& index = index_[static_cast<size_t>(rel_i)];
     index.Clear();
+    index.Reserve(entries.size());
     for (uint64_t id = 0; id < entries.size(); ++id) {
       entries[id].epoch = 0;
       entries[id].origin = kOriginData;

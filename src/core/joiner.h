@@ -40,6 +40,9 @@ struct JoinerConfig {
   bool collect_pairs = false;     // record (r_seq, s_seq) result ids
   bool keep_rows = true;          // store row payloads when provided
   uint64_t latency_every = 0;     // record latency for every k-th output (0=off)
+  /// Equi-join index implementation: the flat tag-filtered index (default)
+  /// or the chained baseline kept for differential testing.
+  bool use_flat_index = true;
 };
 
 class JoinerCore : public Task {
@@ -53,10 +56,12 @@ class JoinerCore : public Task {
   /// run, never mix control with data, and never mix epochs — so for a
   /// steady-state kData batch the epoch admission check hoists to once per
   /// batch, and the batch splits into maximal same-relation runs processed
-  /// as a probe loop followed by grouped index inserts (tuples of one
-  /// relation never match each other, so deferring a run's stores behind its
-  /// probes is output-equivalent to the per-envelope interleaving and keeps
-  /// each index's insert path hot). Anything else — control singletons, µ
+  /// as a probe pass — batched through JoinIndex::ProbeRun for equi-joins,
+  /// so the flat index prefetch-pipelines the run — followed by grouped
+  /// index inserts (tuples of one relation never match each other, so
+  /// deferring a run's stores behind its probes is output-equivalent to the
+  /// per-envelope interleaving and keeps each index's insert path hot).
+  /// Anything else — control singletons, µ
   /// batches, or any batch consumed while a migration is active (Δ/Δ'
   /// scoping and migration bookkeeping stay per-envelope) — falls back to
   /// the default OnMessage loop.
@@ -126,6 +131,12 @@ class JoinerCore : public Task {
 
   bool EntryInScope(const StoredEntry& entry, Rel entry_rel, Scope scope) const;
   void Probe(const Envelope& msg, Scope scope, Context& ctx);
+  void ProbeRunBatch(const TupleBatch& batch, size_t begin, size_t end,
+                     Context& ctx);
+  // Shared candidate-filter/match/emit body of the scalar and batched
+  // probe paths (single source of truth for the match rules).
+  void MatchAndEmit(const Envelope& msg, const StoredEntry& entry,
+                    Scope scope, Context& ctx);
   void Emit(const Envelope& msg, const StoredEntry& matched, Rel msg_rel,
             Context& ctx);
   void Store(const Envelope& msg, uint8_t origin, uint32_t epoch);
@@ -157,6 +168,7 @@ class JoinerCore : public Task {
 
   uint32_t eos_seen_ = 0;
   uint64_t output_count_ = 0;
+  std::vector<int64_t> probe_keys_;  // batched-probe scratch (one run)
   std::vector<std::pair<uint64_t, uint64_t>> pairs_;
   JoinerMetrics metrics_;
 };

@@ -100,6 +100,7 @@ JoinOperator::JoinOperator(Engine& engine, OperatorConfig config)
       jc.collect_pairs = config_.collect_pairs;
       jc.keep_rows = config_.keep_rows;
       jc.latency_every = config_.latency_every;
+      jc.use_flat_index = config_.use_flat_index;
       int id = engine_.AddTask(std::make_unique<JoinerCore>(std::move(jc)));
       AJOIN_CHECK(id == block.joiner_task_base + static_cast<int>(p));
       joiner_ids_.push_back(id);
@@ -258,6 +259,7 @@ ShjOperator::ShjOperator(Engine& engine, OperatorConfig config)
     jc.collect_pairs = config_.collect_pairs;
     jc.keep_rows = config_.keep_rows;
     jc.latency_every = config_.latency_every;
+    jc.use_flat_index = config_.use_flat_index;
     int id = engine_.AddTask(std::make_unique<JoinerCore>(std::move(jc)));
     joiner_ids_.push_back(id);
   }

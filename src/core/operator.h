@@ -48,6 +48,9 @@ struct OperatorConfig {
   /// Extended per-reshuffler statistics (heavy hitters / histograms).
   bool collect_stats = false;
   StreamStats::Options stats_options;
+  /// Equi-join index implementation for every joiner: flat tag-filtered
+  /// (default) or the chained baseline (differential tests, bench axis).
+  bool use_flat_index = true;
 };
 
 /// Input-side staging shared by the operator facades: buffers input

@@ -6,19 +6,15 @@
 
 namespace ajoin {
 
-HashIndex::HashIndex(size_t initial_buckets) {
-  size_t buckets = CeilPowerOfTwo(initial_buckets < 16 ? 16 : initial_buckets);
-  heads_.assign(buckets, kNil);
-  shift_ = 64 - Log2Exact(buckets);
-}
+HashIndex::HashIndex(size_t initial_buckets)
+    : initial_buckets_(
+          CeilPowerOfTwo(initial_buckets < 16 ? 16 : initial_buckets)) {}
 
 uint32_t HashIndex::BucketOf(int64_t key) const {
   return static_cast<uint32_t>(SplitMix64(static_cast<uint64_t>(key)) >> shift_);
 }
 
-void HashIndex::MaybeGrow() {
-  if (entries_.size() < heads_.size() * 2) return;
-  size_t new_buckets = heads_.size() * 4;
+void HashIndex::GrowTo(size_t new_buckets) {
   heads_.assign(new_buckets, kNil);
   shift_ = 64 - Log2Exact(new_buckets);
   for (uint32_t e = 0; e < entries_.size(); ++e) {
@@ -26,6 +22,25 @@ void HashIndex::MaybeGrow() {
     entries_[e].next = heads_[slot];
     heads_[slot] = e;
   }
+}
+
+void HashIndex::MaybeGrow() {
+  if (heads_.empty()) {
+    GrowTo(initial_buckets_);  // first insert: deferred initial table
+    return;
+  }
+  if (entries_.size() < heads_.size() * 2) return;
+  GrowTo(heads_.size() * 4);
+}
+
+void HashIndex::Reserve(size_t n) {
+  const size_t total = entries_.size() + n;
+  entries_.reserve(total);
+  // Growth triggers at entries >= 2x buckets; pre-size past that threshold
+  // (never below the initial table size).
+  size_t want = CeilPowerOfTwo(total / 2 + 1);
+  if (want < initial_buckets_) want = initial_buckets_;
+  if (want > heads_.size()) GrowTo(want);
 }
 
 void HashIndex::Insert(int64_t key, uint64_t row_id) {

@@ -11,12 +11,21 @@ namespace ajoin {
 
 /// Insert-only multimap with open chaining and incremental growth.
 /// Duplicates per key are expected (skewed foreign keys).
+///
+/// Storage is allocated lazily on the first Insert/Reserve: a JoinIndex
+/// using the flat implementation (the default) carries an unused chained
+/// index, which must cost nothing in bytes or MemoryBytes() accounting.
 class HashIndex {
  public:
   explicit HashIndex(size_t initial_buckets = 64);
 
   /// Inserts (key, row_id). Amortized O(1).
   void Insert(int64_t key, uint64_t row_id);
+
+  /// Pre-sizes buckets and entry storage for `n` additional entries, so a
+  /// bulk absorb (e.g. a migrated partition of known size) does not rehash
+  /// or reallocate mid-stream.
+  void Reserve(size_t n);
 
   /// Calls fn(row_id) for every entry with exactly this key.
   template <typename Fn>
@@ -49,11 +58,13 @@ class HashIndex {
   static constexpr uint32_t kNil = 0xffffffffu;
 
   uint32_t BucketOf(int64_t key) const;
+  void GrowTo(size_t new_buckets);
   void MaybeGrow();
 
-  std::vector<uint32_t> heads_;
+  std::vector<uint32_t> heads_;  // lazily allocated on first Insert/Reserve
   std::vector<Entry> entries_;
-  int shift_;  // 64 - log2(buckets)
+  size_t initial_buckets_;  // first-allocation sizing hint
+  int shift_ = 64;          // 64 - log2(buckets)
 };
 
 }  // namespace ajoin

@@ -1,6 +1,11 @@
 // JoinIndex: key -> entry-id index whose physical form depends on the join
 // kind — hash for equi, B+ tree for band, plain list for theta scans.
 // Concrete (no virtual dispatch) so joiner probe loops stay tight.
+//
+// The equi hash form has two implementations: the cache-conscious flat
+// tag-filtered index (src/index/flat_index.h, the default hot path) and the
+// chained HashIndex (src/index/hash_index.h), kept selectable as the
+// differential-test baseline until the flat path has soaked.
 
 #pragma once
 
@@ -8,6 +13,7 @@
 #include <vector>
 
 #include "src/index/btree.h"
+#include "src/index/flat_index.h"
 #include "src/index/hash_index.h"
 #include "src/localjoin/predicate.h"
 
@@ -16,6 +22,14 @@ namespace ajoin {
 class JoinIndex {
  public:
   enum class Kind : uint8_t { kHash, kTree, kScan };
+
+  /// Physical implementation of the kHash kind.
+  enum class HashImpl : uint8_t { kFlat, kChained };
+
+  /// Maps the operator-level use_flat_index flag to an implementation.
+  static HashImpl ImplFor(bool use_flat_index) {
+    return use_flat_index ? HashImpl::kFlat : HashImpl::kChained;
+  }
 
   /// Index kind appropriate for a predicate kind.
   static Kind KindFor(JoinSpec::Kind k) {
@@ -27,12 +41,21 @@ class JoinIndex {
     return Kind::kScan;
   }
 
-  explicit JoinIndex(Kind kind = Kind::kHash) : kind_(kind) {}
+  /// Builds an index of `kind`; `impl` picks the kHash implementation (flat
+  /// by default, chained as the differential baseline).
+  explicit JoinIndex(Kind kind = Kind::kHash,
+                     HashImpl impl = HashImpl::kFlat)
+      : kind_(kind), impl_(impl) {}
 
+  /// Inserts (key, id). Keys may repeat (skewed foreign keys).
   void Add(int64_t key, uint64_t id) {
     switch (kind_) {
       case Kind::kHash:
-        hash_.Insert(key, id);
+        if (impl_ == HashImpl::kFlat) {
+          flat_.Insert(key, id);
+        } else {
+          hash_.Insert(key, id);
+        }
         break;
       case Kind::kTree:
         tree_.Insert(key, id);
@@ -44,6 +67,26 @@ class JoinIndex {
     ++size_;
   }
 
+  /// Pre-sizes the index for `n` additional entries, so bulk absorbs (a
+  /// migrated partition of known size, a snapshot restore) do not trigger
+  /// rehash/growth storms mid-stream.
+  void Reserve(size_t n) {
+    switch (kind_) {
+      case Kind::kHash:
+        if (impl_ == HashImpl::kFlat) {
+          flat_.Reserve(n);
+        } else {
+          hash_.Reserve(n);
+        }
+        break;
+      case Kind::kTree:
+        break;  // B+ tree nodes are fixed-fanout; nothing useful to reserve
+      case Kind::kScan:
+        scan_.reserve(scan_.size() + n);
+        break;
+    }
+  }
+
   /// Calls fn(id) for every entry whose key lies in [lo, hi]. For kHash the
   /// range must be a point (equi probes). For kScan all entries qualify
   /// (caller evaluates the theta predicate on rows).
@@ -51,7 +94,11 @@ class JoinIndex {
   void ForEachCandidate(int64_t lo, int64_t hi, Fn&& fn) const {
     switch (kind_) {
       case Kind::kHash:
-        hash_.ForEachMatch(lo, fn);
+        if (impl_ == HashImpl::kFlat) {
+          flat_.ForEachMatch(lo, fn);
+        } else {
+          hash_.ForEachMatch(lo, fn);
+        }
         break;
       case Kind::kTree:
         tree_.ForEachInRange(lo, hi, [&fn](int64_t, uint64_t id) { fn(id); });
@@ -62,23 +109,53 @@ class JoinIndex {
     }
   }
 
-  size_t size() const { return size_; }
-  Kind kind() const { return kind_; }
+  /// Batched POINT probes: calls fn(i, id) for every candidate whose key
+  /// equals keys[i] exactly (plus all entries on kScan), i = 0..n-1 in
+  /// order. On the flat kHash implementation this is the
+  /// software-prefetch-pipelined hot path (see FlatHashIndex::ProbeRun);
+  /// the other forms degrade to a scalar point-probe loop. Range probes —
+  /// band joins need the ProbeRange-derived [lo, hi] interval — must keep
+  /// using ForEachCandidate; ProbeRun would silently drop in-band,
+  /// off-key matches.
+  template <typename Fn>
+  void ProbeRun(const int64_t* keys, size_t n, Fn&& fn) const {
+    if (kind_ == Kind::kHash && impl_ == HashImpl::kFlat) {
+      flat_.ProbeRun(keys, n, fn);
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ForEachCandidate(keys[i], keys[i],
+                       [&fn, i](uint64_t id) { fn(i, id); });
+    }
+  }
 
+  /// Total entries added since the last Clear.
+  size_t size() const { return size_; }
+  /// Physical index kind (hash / tree / scan).
+  Kind kind() const { return kind_; }
+  /// Hash implementation in use (meaningful for kHash).
+  HashImpl hash_impl() const { return impl_; }
+
+  /// Removes every entry; keeps allocated capacity where the underlying
+  /// form supports it.
   void Clear() {
+    flat_.Clear();
     hash_.Clear();
     tree_.Clear();
     scan_.clear();
     size_ = 0;
   }
 
+  /// Memory footprint estimate in bytes (ILF bookkeeping).
   size_t MemoryBytes() const {
-    return hash_.MemoryBytes() + tree_.MemoryBytes() +
+    return flat_.MemoryBytes() + hash_.MemoryBytes() + tree_.MemoryBytes() +
            scan_.capacity() * sizeof(uint64_t);
   }
 
  private:
   Kind kind_;
+  HashImpl impl_;
+  FlatHashIndex flat_;
   HashIndex hash_;
   BPlusTree tree_;
   std::vector<uint64_t> scan_;

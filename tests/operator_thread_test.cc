@@ -104,7 +104,8 @@ std::unique_ptr<ThreadEngine> MakeEngine(Plane plane) {
 std::vector<std::pair<uint64_t, uint64_t>> RunThreaded(
     const std::vector<StreamTuple>& stream, const JoinSpec& spec,
     uint32_t machines, double epsilon, uint64_t* migrations = nullptr,
-    Plane plane = Plane::kBatched, uint32_t ingress_batch = 1) {
+    Plane plane = Plane::kBatched, uint32_t ingress_batch = 1,
+    bool use_flat_index = true) {
   std::unique_ptr<ThreadEngine> engine_ptr = MakeEngine(plane);
   ThreadEngine& engine = *engine_ptr;
   OperatorConfig cfg;
@@ -114,6 +115,7 @@ std::vector<std::pair<uint64_t, uint64_t>> RunThreaded(
   cfg.epsilon = epsilon;
   cfg.min_total_before_adapt = 16;
   cfg.collect_pairs = true;
+  cfg.use_flat_index = use_flat_index;
   JoinOperator op(engine, cfg);
   engine.Start();
   op.SetIngressBatch(ingress_batch);
@@ -244,6 +246,36 @@ TEST(OperatorThread, BatchDispatchMatchesEnvelopeDispatchAcrossMigration) {
     EXPECT_EQ(with_batch, with_env) << "seed " << seed;
     EXPECT_GE(migrations_batch, 1u) << "seed " << seed;
     EXPECT_GE(migrations_env, 1u) << "seed " << seed;
+  }
+}
+
+TEST(OperatorThread, FlatIndexMatchesChainedAcrossProtocolMatrix) {
+  // Differential sweep over the protocol matrix with the join-index axis:
+  // the flat tag-filtered index and the chained baseline must produce
+  // identical output on every exchange plane, including across live
+  // migrations (extract on the sender, Reserve+absorb rebuild on the
+  // receiver) forced by the aggressive epsilon.
+  JoinSpec spec = MakeEquiJoin(0, 0);
+  for (uint64_t seed = 70; seed < 73; ++seed) {
+    auto stream = MakeStream(300 + 11 * seed, 900 + 23 * seed, 20, seed);
+    auto want = ReferencePairs(stream, spec);
+    for (Plane plane : kAllPlanes) {
+      uint64_t migrations_flat = 0, migrations_chained = 0;
+      auto with_flat = RunThreaded(stream, spec, 8, 0.25, &migrations_flat,
+                                   plane, /*ingress_batch=*/1,
+                                   /*use_flat_index=*/true);
+      auto with_chained = RunThreaded(stream, spec, 8, 0.25,
+                                      &migrations_chained, plane,
+                                      /*ingress_batch=*/1,
+                                      /*use_flat_index=*/false);
+      EXPECT_EQ(with_flat, want) << "seed " << seed << " " << PlaneName(plane);
+      EXPECT_EQ(with_chained, want)
+          << "seed " << seed << " " << PlaneName(plane);
+      EXPECT_GE(migrations_flat, 1u)
+          << "seed " << seed << " " << PlaneName(plane);
+      EXPECT_GE(migrations_chained, 1u)
+          << "seed " << seed << " " << PlaneName(plane);
+    }
   }
 }
 

@@ -8,11 +8,12 @@
    each such declaration must be a comment line. This keeps the OnBatch
    contract (default loop, no-mixed-epoch precondition, migration fallback)
    documented where implementers see it.
-3. Every public method of the external API classes in src/runtime/task.h
-   (IngressPort, Engine) must carry a doc comment: the post-Shutdown
-   rejection contract, the per-port threading rules, and the Post
-   deprecation live in those comments, so an undocumented method is a
-   contract hole.
+3. Every public method of the external API classes must carry a doc
+   comment: IngressPort/Engine in src/runtime/task.h (post-Shutdown
+   rejection contract, per-port threading rules, Post deprecation),
+   FlatHashIndex in src/index/flat_index.h and JoinIndex in
+   src/localjoin/join_index.h (probe-order guarantees, Reserve semantics,
+   ProbeRun pipeline contract). An undocumented method is a contract hole.
 
 Exit code 0 = clean; 1 = findings (printed one per line).
 """
@@ -68,24 +69,28 @@ def check_onbatch_doc_comments():
     return errors
 
 
-API_HEADER = "src/runtime/task.h"
-API_CLASSES = ("IngressPort", "Engine")
+# (header, classes) pairs whose public methods must carry doc comments.
+API_SURFACES = (
+    ("src/runtime/task.h", ("IngressPort", "Engine")),
+    ("src/index/flat_index.h", ("FlatHashIndex",)),
+    ("src/localjoin/join_index.h", ("JoinIndex",)),
+)
 METHOD_RE = re.compile(r"^(virtual\s+)?[A-Za-z_][\w:<>,&*\s]*\(")
 
 
-def check_api_doc_comments():
-    """Public IngressPort/Engine methods in task.h need doc comments."""
+def check_api_header(header, classes):
+    """Public methods of `classes` in `header` need doc comments."""
     errors = []
-    path = REPO / API_HEADER
+    path = REPO / header
     if not path.exists():
-        return [f"{API_HEADER}: missing (API doc check has no target)"]
+        return [f"{header}: missing (API doc check has no target)"]
     lines = path.read_text(encoding="utf-8").splitlines()
-    for cls in API_CLASSES:
+    for cls in classes:
         class_re = re.compile(rf"^class {cls}\b")
         start = next((i for i, ln in enumerate(lines)
                       if class_re.match(ln.strip())), None)
         if start is None:
-            errors.append(f"{API_HEADER}: class {cls} not found")
+            errors.append(f"{header}: class {cls} not found")
             continue
         depth = 0
         public = False
@@ -117,12 +122,24 @@ def check_api_doc_comments():
             if not METHOD_RE.match(stripped):
                 continue
             prev = idx - 1
-            while prev >= 0 and not lines[prev].strip():
+            # Template heads and static_asserts sit between the doc comment
+            # and the declaration; skip them when scanning back.
+            while prev >= 0 and (not lines[prev].strip()
+                                 or lines[prev].strip().startswith(
+                                     ("template", "static_assert"))):
                 prev -= 1
             if prev < 0 or not lines[prev].strip().startswith("//"):
                 errors.append(
-                    f"{API_HEADER}:{idx + 1}: public {cls} method without a "
+                    f"{header}:{idx + 1}: public {cls} method without a "
                     "doc comment")
+    return errors
+
+
+def check_api_doc_comments():
+    """Runs the public-API doc check over every registered surface."""
+    errors = []
+    for header, classes in API_SURFACES:
+        errors += check_api_header(header, classes)
     return errors
 
 
