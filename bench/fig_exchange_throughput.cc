@@ -43,8 +43,10 @@
 
 #include "bench/bench_common.h"
 #include "src/common/random.h"
+#include "src/common/status.h"
 #include "src/common/stopwatch.h"
 #include "src/core/operator.h"
+#include "src/query/dataflow.h"
 #include "src/runtime/thread_engine.h"
 #include "src/sim/sim_engine.h"
 
@@ -260,14 +262,23 @@ const Mode kJoinModes[] = {
 
 /// Section 2: end-to-end static join run on the threaded engine. Best of
 /// `reps` to damp scheduler noise; the 4J point carries the overhead metric
-/// and gets extra reps.
+/// and gets extra reps. With `egress_sink`, every joiner streams its
+/// results to one ResultSink task as kResult batches (the `sink` value of
+/// the egress axis) instead of only counting locally (`poll`).
 JoinRunResult JoinRun(const Mode& mode, uint32_t machines,
                       const std::vector<StreamTuple>& stream, int reps = 3,
-                      bool use_flat_index = true) {
+                      bool use_flat_index = true, bool egress_sink = false) {
   JoinRunResult result;
   for (int rep = 0; rep < reps; ++rep) {
     std::unique_ptr<ThreadEngine> engine = MakeEngine(mode);
     JoinOperator op(*engine, StaticJoinConfig(machines, use_flat_index));
+    if (egress_sink) {
+      ResultSink::Options opts;
+      opts.collect_pairs = false;  // count + bytes only: pure egress cost
+      const int sink_task =
+          engine->AddTask(std::make_unique<ResultSink>(opts));
+      op.RouteResultsTo({sink_task});
+    }
     engine->Start();
     Stopwatch clock;
     for (const StreamTuple& t : stream) op.Push(t);
@@ -324,7 +335,11 @@ int main() {
                    "per envelope, port-batch = one IngressPort per producer "
                    "shipping size-targeted PostBatch runs; index flat = "
                    "tag-filtered FlatHashIndex (default), chained = baseline "
-                   "HashIndex on the b64 4J points");
+                   "HashIndex on the b64 4J points; egress poll = results "
+                   "counted locally and read at quiescence, sink = joiners "
+                   "stream kResult batches to a ResultSink task (the "
+                   "join_4j_egress section runs a match-producing stream, "
+                   "~1 result/tuple)");
 
   // ---- Section 1: pure exchange -------------------------------------------
   bench::PrintHeader("Exchange throughput 1/3: raw fan-out, 4 sinks");
@@ -514,6 +529,61 @@ int main() {
         .Add("overflow_batches", r.stats.overflow_batches);
   }
 
+  // Egress axis at the 4J operating point, on a *match-producing* stream
+  // (the main 4J stream is nearly match-free, so it cannot price result
+  // shipping): poll = results stay local (counted per joiner, read at
+  // quiescence — the pre-egress consumption model), sink = every joiner
+  // streams kResult batches to one ResultSink task while the stream runs.
+  // The delta prices first-class streaming egress at ~1 result per input
+  // tuple.
+  auto egress_stream = MakeJoinStream(kJoinTuples, 777);
+  for (StreamTuple& t : egress_stream) {
+    t.key &= (1 << 16) - 1;  // ~one expected match per probe at 240k tuples
+  }
+  std::printf("\n%-12s %10s %10s %8s   (egress axis, 4J, matchy stream)\n",
+              "mode", "poll t/s", "sink t/s", "ratio");
+  double egress_ratio_b64 = 0;
+  const char* kEgressModes[] = {"per-tuple", "b64/batch", "b256/batch"};
+  for (const char* mode_name : kEgressModes) {
+    const Mode* found = nullptr;
+    for (const Mode& m : kJoinModes) {
+      if (std::string(m.name) == mode_name) found = &m;
+    }
+    // A silently skipped mode would write egress_sink_vs_poll_b64_batch as
+    // 0 — reading as a catastrophic regression instead of a bench bug.
+    AJOIN_CHECK_MSG(found != nullptr,
+                    "egress axis references a mode missing from kJoinModes");
+    const Mode& mode = *found;
+    JoinRunResult poll = JoinRun(mode, 4, egress_stream, /*reps=*/3,
+                                 /*use_flat_index=*/true,
+                                 /*egress_sink=*/false);
+    JoinRunResult sink = JoinRun(mode, 4, egress_stream, /*reps=*/3,
+                                 /*use_flat_index=*/true,
+                                 /*egress_sink=*/true);
+    const double ratio = poll.tuples_per_sec > 0
+                             ? sink.tuples_per_sec / poll.tuples_per_sec
+                             : 0;
+    if (std::string(mode_name) == "b64/batch") egress_ratio_b64 = ratio;
+    std::printf("%-12s %10.0f %10.0f %7.2fx\n", mode.name,
+                poll.tuples_per_sec, sink.tuples_per_sec, ratio);
+    for (int e = 0; e < 2; ++e) {
+      const JoinRunResult& r = e == 0 ? poll : sink;
+      out.AddRow()
+          .Add("section", "join_4j_egress")
+          .Add("mode", mode.name)
+          .Add("dispatch", DispatchName(mode))
+          .Add("egress", e == 0 ? "poll" : "sink")
+          .Add("batch_size",
+               mode.legacy ? 1 : static_cast<int>(mode.batch_size))
+          .Add("machines", 4)
+          .Add("tuples", kJoinTuples)
+          .Add("tuples_per_sec", r.tuples_per_sec)
+          .Add("avg_batch_fill", r.stats.avg_batch_fill)
+          .Add("credit_waits", r.stats.credit_waits)
+          .Add("overflow_batches", r.stats.overflow_batches);
+    }
+  }
+
   // ---- Acceptance summary -------------------------------------------------
   // "Per-tuple exchange" is every-envelope-ships-alone: the legacy mutex
   // plane and the batched plane at batch_size 1. The slower end-to-end
@@ -583,7 +653,8 @@ int main() {
       .Add("ingress_speedup_portbatch_vs_post_2producers", ingress_speedup_2p)
       .Add("ingress_speedup_portbatch_vs_post_4producers", ingress_speedup_4p)
       .Add("ingress_speedup_port_vs_post_2producers", port_vs_post_2p)
-      .Add("ingress_speedup_port_vs_post_4producers", port_vs_post_4p);
+      .Add("ingress_speedup_port_vs_post_4producers", port_vs_post_4p)
+      .Add("egress_sink_vs_poll_b64_batch", egress_ratio_b64);
   out.Write();
   return 0;
 }

@@ -1,12 +1,16 @@
-// The Squall execution pattern on the paper's EQ5: materialize the
-// dimension side (Region |X| Nation |X| Supplier) with local pipelined
-// joins, then stream it with Lineitem through the distributed adaptive
-// operator — the expensive join the paper evaluates.
+// The paper's EQ5 as a streaming cascade: only the tiny Region |X| Nation
+// seed is computed locally; the remaining joins — (R|X|N) |X| Supplier and
+// the expensive |X| Lineitem — run as a two-stage Dataflow, stage A's
+// joiner egress streaming straight into stage B's reshufflers. No
+// intermediate relation is materialized (contrast with the Squall pattern
+// src/query/pipeline.h implements, where every intermediate is realized
+// before online processing), and the adaptive controller migrates mappings
+// live in both stages.
 
 #include <cstdio>
 
-#include "src/core/operator.h"
 #include "src/datagen/tpch.h"
+#include "src/query/dataflow.h"
 #include "src/query/pipeline.h"
 #include "src/sim/sim_engine.h"
 
@@ -19,29 +23,68 @@ int main() {
   cfg.zipf_z = 0.5;  // skewed supplier foreign keys
   TpchGen gen(cfg);
 
-  // Stage 1: local pipelined joins materialize the dimension side.
-  MaterializedRelation rns = BuildEq5SupplierSide(gen);
-  std::printf("stage 1 (local): Region |X| Nation |X| Supplier -> %llu rows\n",
-              static_cast<unsigned long long>(rns.size()));
+  // Stage 0 (local, tiny): Region(one region) |X| Nation.
+  MaterializedRelation region =
+      Scan("region", kNumRegions,
+           [](uint64_t i) {
+             Row row;
+             row.Append(Value(static_cast<int64_t>(i)));
+             return row;
+           },
+           [](const Row& row) { return row.Int64(0) == 0; });
+  MaterializedRelation nation =
+      Scan("nation", kNumNations, [&gen](uint64_t i) { return gen.Nation(i); });
+  MaterializedRelation rn =
+      LocalJoin(region, nation,
+                MakeEquiJoin(/*r_key_col=*/0, NationCols::kRegionKey),
+                "region_nation");
+  std::printf("stage 0 (local): Region |X| Nation -> %llu rows\n",
+              static_cast<unsigned long long>(rn.size()));
 
-  // Stage 2: the expensive online join, distributed over 16 joiners.
+  // Stages 1+2 (distributed, streaming): the dimension join feeds the
+  // expensive probe join online — no materialized intermediate.
   SimEngine engine;
-  OperatorConfig oc;
-  oc.spec = MakeEquiJoin(/*r_key_col=*/0, LineitemCols::kSuppKey, "EQ5");
-  oc.machines = 16;
-  oc.adaptive = true;
-  oc.min_total_before_adapt = 512;
-  oc.keep_rows = false;  // count results
-  JoinOperator op(engine, oc);
+  Dataflow flow(engine);
+  OperatorConfig a_cfg;
+  a_cfg.spec = MakeEquiJoin(/*r_key_col=*/1, SupplierCols::kNationKey, "RN_S");
+  a_cfg.machines = 4;
+  a_cfg.adaptive = true;
+  a_cfg.min_total_before_adapt = 16;
+  a_cfg.keep_rows = true;  // stage B keys on a result-row column
+  const int dim = flow.AddJoin(a_cfg);
+  OperatorConfig b_cfg;
+  b_cfg.spec = MakeEquiJoin(/*r_key_col=*/3, LineitemCols::kSuppKey, "EQ5");
+  b_cfg.machines = 16;
+  b_cfg.adaptive = true;
+  b_cfg.min_total_before_adapt = 512;
+  b_cfg.keep_rows = false;
+  const int probe = flow.AddJoin(b_cfg);
+  const int out = flow.AddSink();
+  Dataflow::ConnectOptions wire;
+  wire.rel = Rel::kR;
+  wire.key_col = 3;  // s_suppkey inside the stage-A result row
+  flow.Connect(dim, probe, wire);
+  flow.Connect(probe, out);
   engine.Start();
 
-  for (const Row& row : rns.rows) {
+  for (const Row& row : rn.rows) {
     StreamTuple t;
     t.rel = Rel::kR;
-    t.key = row.Int64(0);
-    t.bytes = 64;
-    op.Push(t);
-    engine.WaitQuiescent();
+    t.key = row.Int64(1);  // n_nationkey
+    t.bytes = 24;
+    t.has_row = true;
+    t.row = row;
+    flow.join(dim).Push(t);
+  }
+  const uint64_t n_sup = cfg.NumSuppliers();
+  for (uint64_t i = 0; i < n_sup; ++i) {
+    StreamTuple t;
+    t.rel = Rel::kS;
+    t.key = gen.SupplierNation(i);
+    t.bytes = 24;
+    t.has_row = true;
+    t.row = gen.Supplier(i);
+    flow.join(dim).Push(t);
   }
   const uint64_t n_li = cfg.NumLineitem();
   for (uint64_t i = 0; i < n_li; ++i) {
@@ -49,20 +92,26 @@ int main() {
     t.rel = Rel::kS;
     t.key = gen.LineitemFast(i).suppkey;
     t.bytes = 32;
-    op.Push(t);
-    engine.WaitQuiescent();
+    flow.join(probe).Push(t);
+    if (i % 512 == 0) engine.WaitQuiescent();
   }
-  op.SendEos();
+  flow.SendEos();
   engine.WaitQuiescent();
 
-  std::printf("stage 2 (distributed): |X| Lineitem (%llu rows, Zipf z=%.2f)\n",
+  std::printf("stage 1 (streaming): |X| Supplier (%llu) -> %llu results, "
+              "%zu migrations\n",
+              static_cast<unsigned long long>(n_sup),
+              static_cast<unsigned long long>(flow.join(dim).TotalOutputs()),
+              flow.join(dim).controller()->log().size());
+  std::printf("stage 2 (streaming): |X| Lineitem (%llu rows, Zipf z=%.2f)\n",
               static_cast<unsigned long long>(n_li), cfg.zipf_z);
-  std::printf("  results:       %llu\n",
-              static_cast<unsigned long long>(op.TotalOutputs()));
-  std::printf("  final mapping: %s after %zu migrations (started (4,4))\n",
-              op.controller()->current_mapping(0).ToString().c_str(),
-              op.controller()->log().size());
-  std::printf("  max ILF:       %.0f KB per joiner\n",
-              static_cast<double>(op.MaxInBytes()) / 1024.0);
+  std::printf("  results (sink): %llu\n",
+              static_cast<unsigned long long>(flow.sink(out).count()));
+  std::printf("  final mapping:  %s after %zu migrations (started (4,4))\n",
+              flow.join(probe).controller()->current_mapping(0)
+                  .ToString().c_str(),
+              flow.join(probe).controller()->log().size());
+  std::printf("  max ILF:        %.0f KB per joiner\n",
+              static_cast<double>(flow.join(probe).MaxInBytes()) / 1024.0);
   return 0;
 }

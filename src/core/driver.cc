@@ -21,8 +21,7 @@ double IlfRatio(const ControllerCore* ctrl, double r_bytes, double s_bytes) {
 
 }  // namespace
 
-template <typename Op>
-RunResult RunWorkload(Engine& engine, Op& op, const Workload& workload,
+RunResult RunWorkload(Engine& engine, Operator& op, const Workload& workload,
                       const RunOptions& options) {
   RunResult result;
   auto source = workload.MakeSource(options.arrival);
@@ -137,13 +136,5 @@ RunResult RunWorkload(Engine& engine, Op& op, const Workload& workload,
       queueing_ms;
   return result;
 }
-
-// Explicit instantiations for the two operator facades.
-template RunResult RunWorkload<JoinOperator>(Engine&, JoinOperator&,
-                                             const Workload&,
-                                             const RunOptions&);
-template RunResult RunWorkload<ShjOperator>(Engine&, ShjOperator&,
-                                            const Workload&,
-                                            const RunOptions&);
 
 }  // namespace ajoin

@@ -62,9 +62,9 @@ struct RunResult {
   double max_ilf_ratio = 0;    // max over snapshots (competitive ratio)
 };
 
-/// Runs the full workload through `op`. Op is JoinOperator or ShjOperator.
-template <typename Op>
-RunResult RunWorkload(Engine& engine, Op& op, const Workload& workload,
+/// Runs the full workload through `op` — any Operator facade (JoinOperator,
+/// ShjOperator, a Dataflow stage), no template per facade.
+RunResult RunWorkload(Engine& engine, Operator& op, const Workload& workload,
                       const RunOptions& options);
 
 }  // namespace ajoin

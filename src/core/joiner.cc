@@ -35,6 +35,8 @@ void JoinerCore::OnMessage(Envelope msg, Context& ctx) {
     default:
       AJOIN_CHECK_MSG(false, "joiner: unexpected message type");
   }
+  // Ship any results this message produced before the Context goes away.
+  if (!egress_.empty()) FlushEgress(ctx);
 }
 
 void JoinerCore::OnBatch(TupleBatch batch, Context& ctx) {
@@ -92,6 +94,10 @@ void JoinerCore::OnBatch(TupleBatch batch, Context& ctx) {
     }
     i = j;
   }
+  // One egress batch per input batch (the per-envelope path flushes per
+  // message instead; both orders are per-edge FIFO, which is all sinks and
+  // downstream stages rely on).
+  if (!egress_.empty()) FlushEgress(ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -179,6 +185,7 @@ void JoinerCore::Emit(const Envelope& msg, const StoredEntry& matched,
       pairs_.emplace_back(matched.seq, msg.seq);
     }
   }
+  if (config_.result_sink >= 0) StageResult(msg, matched, msg_rel, ctx);
   if (config_.latency_every != 0 && msg.ingest_us != 0 &&
       output_count_ % config_.latency_every == 0) {
     uint64_t now = ctx.NowMicros();
@@ -186,6 +193,47 @@ void JoinerCore::Emit(const Envelope& msg, const StoredEntry& matched,
       metrics_.latency_us.Record(static_cast<double>(now - msg.ingest_us));
     }
   }
+}
+
+// Staged runs are cut at the wire's default batch size; a dispatch that
+// produces more results than this ships several batches (per-edge FIFO
+// either way).
+static constexpr size_t kEgressRunMax = 128;
+
+void JoinerCore::StageResult(const Envelope& msg, const StoredEntry& matched,
+                             Rel msg_rel, Context& ctx) {
+  // kResult field use is documented at the MsgType declaration: the pair's
+  // identity travels as (seq, tag) = (r_seq, s_seq) and the payload as the
+  // concatenated row, so a sink can reproduce CollectPairs() exactly and a
+  // downstream stage sees the same row LocalJoin would materialize.
+  Envelope res;
+  res.type = MsgType::kResult;
+  res.rel = msg_rel;
+  res.key = msg.key;
+  if (msg_rel == Rel::kR) {
+    res.seq = msg.seq;
+    res.tag = matched.seq;
+  } else {
+    res.seq = matched.seq;
+    res.tag = msg.seq;
+  }
+  res.bytes = msg.bytes + matched.bytes;
+  res.group = config_.group;
+  res.ingest_us = msg.ingest_us;
+  if (msg.has_row && matched.has_row) {
+    const Row& r_row = msg_rel == Rel::kR ? msg.row : matched.row;
+    const Row& s_row = msg_rel == Rel::kR ? matched.row : msg.row;
+    res.has_row = true;
+    res.row.AppendAll(r_row);
+    res.row.AppendAll(s_row);
+  }
+  egress_.Add(std::move(res));
+  if (egress_.size() >= kEgressRunMax) FlushEgress(ctx);
+}
+
+void JoinerCore::FlushEgress(Context& ctx) {
+  ctx.SendBatch(config_.result_sink, std::move(egress_));
+  egress_.Clear();
 }
 
 void JoinerCore::Store(const Envelope& msg, uint8_t origin, uint32_t epoch) {

@@ -43,6 +43,12 @@ struct JoinerConfig {
   /// Equi-join index implementation: the flat tag-filtered index (default)
   /// or the chained baseline kept for differential testing.
   bool use_flat_index = true;
+  /// Streaming egress: engine task id that receives this joiner's results
+  /// as kResult batches (a ResultSink or a downstream stage's reshuffler).
+  /// -1 (default) keeps results local (polling via collect_pairs /
+  /// output_count only). Result edges must point at a *higher* task id so
+  /// the exchange plane's credit-blocking order stays acyclic.
+  int result_sink = -1;
 };
 
 class JoinerCore : public Task {
@@ -66,6 +72,12 @@ class JoinerCore : public Task {
   /// scoping and migration bookkeeping stay per-envelope) — falls back to
   /// the default OnMessage loop.
   void OnBatch(TupleBatch batch, Context& ctx) override;
+
+  /// Re-points streaming egress at engine task `sink` (see
+  /// JoinerConfig::result_sink). Wiring-time only: call before the engine
+  /// starts dispatching (Dataflow::Connect uses it to wire stages built
+  /// after this joiner).
+  void set_result_sink(int sink) { config_.result_sink = sink; }
 
   const JoinerMetrics& metrics() const { return metrics_; }
   JoinerMetrics& mutable_metrics() { return metrics_; }
@@ -139,6 +151,13 @@ class JoinerCore : public Task {
                     Scope scope, Context& ctx);
   void Emit(const Envelope& msg, const StoredEntry& matched, Rel msg_rel,
             Context& ctx);
+  // Egress plane: stages one kResult envelope (result_sink >= 0), and ships
+  // the staged run as one Context::SendBatch when it fills or the current
+  // dispatch ends (OnMessage/OnBatch epilogue) — results never outlive the
+  // Context that produced them.
+  void StageResult(const Envelope& msg, const StoredEntry& matched,
+                   Rel msg_rel, Context& ctx);
+  void FlushEgress(Context& ctx);
   void Store(const Envelope& msg, uint8_t origin, uint32_t epoch);
   void SendMigrateTuple(const Envelope& src, uint32_t target_machine,
                         Context& ctx);
@@ -168,6 +187,7 @@ class JoinerCore : public Task {
 
   uint32_t eos_seen_ = 0;
   uint64_t output_count_ = 0;
+  TupleBatch egress_;                // staged kResult run (one dispatch)
   std::vector<int64_t> probe_keys_;  // batched-probe scratch (one run)
   std::vector<std::pair<uint64_t, uint64_t>> pairs_;
   JoinerMetrics metrics_;

@@ -25,10 +25,29 @@ Envelope InputEnvelope(const StreamTuple& tuple, uint64_t seq,
   return env;
 }
 
+/// Shared egress wiring for both facades: points joiner `i` at
+/// `sinks[i % sinks.size()]`, enforcing the exchange plane's id-ordering
+/// contract (a result edge must point at a higher task id, or the
+/// credit-blocking wait-for graph could cycle).
+void RouteJoinerResults(Engine& engine, const std::vector<int>& joiner_ids,
+                        const std::vector<int>& sinks) {
+  AJOIN_CHECK_MSG(!sinks.empty(), "RouteResultsTo: no sinks");
+  for (size_t i = 0; i < joiner_ids.size(); ++i) {
+    const int sink = sinks[i % sinks.size()];
+    AJOIN_CHECK_MSG(sink > joiner_ids[i],
+                    "result sink must be a higher task id (deadlock-freedom "
+                    "ordering)");
+    static_cast<JoinerCore*>(engine.task(joiner_ids[i]))
+        ->set_result_sink(sink);
+  }
+}
+
 }  // namespace
 
 JoinOperator::JoinOperator(Engine& engine, OperatorConfig config)
-    : engine_(engine), config_(std::move(config)) {
+    : engine_(engine),
+      config_(std::move(config)),
+      task_base_(static_cast<int>(engine.num_tasks())) {
   std::vector<uint64_t> group_sizes = BinaryDecompose(config_.machines);
   group_count_ = static_cast<uint32_t>(group_sizes.size());
   AJOIN_CHECK_MSG(group_count_ == 1 || config_.barrier_migrations,
@@ -37,11 +56,13 @@ JoinOperator::JoinOperator(Engine& engine, OperatorConfig config)
                   "elasticity requires a single power-of-two group");
   num_reshufflers_ = config_.machines;
 
-  // Build per-group blocks. Joiner ids are assigned after reshufflers.
+  // Build per-group blocks. Joiner ids are assigned after reshufflers, all
+  // relative to this operator's task base (so stacked operators — Dataflow
+  // stages — get disjoint, strictly increasing id blocks).
   std::vector<GroupBlock> blocks;
   std::vector<ControllerCore::GroupInfo> cinfos;
   double cum = 0.0;
-  int next_base = static_cast<int>(num_reshufflers_);
+  int next_base = task_base_ + static_cast<int>(num_reshufflers_);
   for (uint64_t jg : group_sizes) {
     GroupBlock block;
     block.joiner_task_base = next_base;
@@ -76,14 +97,15 @@ JoinOperator::JoinOperator(Engine& engine, OperatorConfig config)
     rc.index = r;
     rc.num_reshufflers = num_reshufflers_;
     rc.groups = blocks;
-    rc.controller_task = 0;
+    rc.controller_task = task_base_;
+    rc.reshuffler_task_base = task_base_;
     rc.is_controller = (r == 0);
     rc.controller = ctrl;
     rc.controller_groups = cinfos;
     rc.collect_stats = config_.collect_stats;
     rc.stats_options = config_.stats_options;
     int id = engine_.AddTask(std::make_unique<ReshufflerCore>(std::move(rc)));
-    AJOIN_CHECK(id == static_cast<int>(r));
+    AJOIN_CHECK(id == task_base_ + static_cast<int>(r));
     reshuffler_ids_.push_back(id);
   }
   for (uint32_t g = 0; g < group_count_; ++g) {
@@ -95,7 +117,7 @@ JoinOperator::JoinOperator(Engine& engine, OperatorConfig config)
       jc.machine_index = p;
       jc.initial_layout = block.initial_layout;
       jc.num_reshufflers = num_reshufflers_;
-      jc.controller_task = 0;
+      jc.controller_task = task_base_;
       jc.joiner_task_base = block.joiner_task_base;
       jc.collect_pairs = config_.collect_pairs;
       jc.keep_rows = config_.keep_rows;
@@ -120,13 +142,25 @@ int JoinOperator::ReshufflerFor(uint64_t seq, uint32_t num_reshufflers) {
 
 void JoinOperator::SetIngressBatch(uint32_t target) {
   FlushInput();  // staged under the old target must not be stranded
-  stager_.SetTarget(target, num_reshufflers_);
+  stager_.SetTarget(target, task_base_, num_reshufflers_);
 }
 
 void JoinOperator::Push(const StreamTuple& tuple) {
   Envelope env = InputEnvelope(tuple, seq_++, engine_.NowMicros());
   const int r = ReshufflerFor(env.seq, num_reshufflers_);
-  stager_.Stage(Port(), r, std::move(env));
+  stager_.Stage(Port(), reshuffler_ids_[static_cast<size_t>(r)],
+                std::move(env));
+}
+
+void JoinOperator::RouteResultsTo(const std::vector<int>& sinks) {
+  RouteJoinerResults(engine_, joiner_ids_, sinks);
+}
+
+void JoinOperator::AcceptResultsAs(Rel rel, int key_col) {
+  for (int id : reshuffler_ids_) {
+    static_cast<ReshufflerCore*>(engine_.task(id))->AcceptResults(rel,
+                                                                  key_col);
+  }
 }
 
 void JoinOperator::FlushInput() {
@@ -243,10 +277,10 @@ ShjOperator::ShjOperator(Engine& engine, OperatorConfig config)
     : engine_(engine), config_(std::move(config)) {
   AJOIN_CHECK_MSG(config_.spec.kind == JoinSpec::Kind::kEqui,
                   "SHJ supports equi-joins only");
+  const int base = static_cast<int>(engine_.num_tasks());
   router_id_ = engine_.AddTask(
-      std::make_unique<ShjRouter>(/*joiner_base=*/1, config_.machines));
-  AJOIN_CHECK_MSG(router_id_ == 0,
-                  "ShjOperator must be the first operator on its engine");
+      std::make_unique<ShjRouter>(/*joiner_base=*/base + 1, config_.machines));
+  AJOIN_CHECK(router_id_ == base);
   for (uint32_t p = 0; p < config_.machines; ++p) {
     JoinerConfig jc;
     jc.spec = config_.spec;
@@ -255,7 +289,7 @@ ShjOperator::ShjOperator(Engine& engine, OperatorConfig config)
     jc.initial_layout = GridLayout::Initial(Mapping{1, config_.machines});
     jc.num_reshufflers = 1;  // the router
     jc.controller_task = -1;
-    jc.joiner_task_base = 1;
+    jc.joiner_task_base = base + 1;
     jc.collect_pairs = config_.collect_pairs;
     jc.keep_rows = config_.keep_rows;
     jc.latency_every = config_.latency_every;
@@ -272,14 +306,17 @@ IngressPort& ShjOperator::Port() {
 
 void ShjOperator::SetIngressBatch(uint32_t target) {
   FlushInput();
-  // One destination: the router is task 0 on this engine (checked in the
-  // constructor), so the stager's task-id indexing stays dense.
-  stager_.SetTarget(target, 1);
+  // One destination: the router.
+  stager_.SetTarget(target, router_id_, 1);
 }
 
 void ShjOperator::Push(const StreamTuple& tuple) {
   Envelope env = InputEnvelope(tuple, seq_++, engine_.NowMicros());
   stager_.Stage(Port(), router_id_, std::move(env));
+}
+
+void ShjOperator::RouteResultsTo(const std::vector<int>& sinks) {
+  RouteJoinerResults(engine_, joiner_ids_, sinks);
 }
 
 void ShjOperator::FlushInput() {

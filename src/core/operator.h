@@ -1,9 +1,13 @@
 // Operator assemblies: the adaptive Dynamic operator (plus its Static
 // configurations) and the content-sensitive parallel SHJ baseline, wired
-// onto an Engine (simulator or threads).
+// onto an Engine (simulator or threads). Both implement the abstract
+// Operator interface, so drivers (RunWorkload), benches, and Dataflow
+// compose against one facade.
 //
-// Task id layout: reshufflers occupy ids [0, R); each group's joiners occupy
-// a contiguous block after that (sized for potential elastic expansion).
+// Task id layout (relative to the operator's task base — the engine's
+// num_tasks() at construction, so several operators stack on one engine):
+// reshufflers occupy [base, base + R); each group's joiners occupy a
+// contiguous block after that (sized for potential elastic expansion).
 
 #pragma once
 
@@ -60,10 +64,12 @@ struct OperatorConfig {
 /// sending control).
 class IngressStager {
  public:
-  /// Sets the batch target and destination count. Anything staged under
-  /// the old target must be flushed first (see FlushStaged).
-  void SetTarget(uint32_t target, size_t num_destinations) {
+  /// Sets the batch target and the destination task-id block
+  /// [dest_base, dest_base + num_destinations). Anything staged under the
+  /// old target must be flushed first (see FlushStaged).
+  void SetTarget(uint32_t target, int dest_base, size_t num_destinations) {
     target_ = target == 0 ? 1 : target;
+    dest_base_ = dest_base;
     if (target_ > 1) staged_.resize(num_destinations);
   }
 
@@ -77,7 +83,7 @@ class IngressStager {
       port.Post(dest, std::move(env));
       return;
     }
-    TupleBatch& run = staged_[static_cast<size_t>(dest)];
+    TupleBatch& run = staged_[static_cast<size_t>(dest - dest_base_)];
     run.Add(std::move(env));
     if (run.size() >= target_) {
       port.PostBatch(dest, std::move(run));
@@ -87,21 +93,85 @@ class IngressStager {
 
   /// Ships every staged run (any size) through `port`.
   void FlushStaged(IngressPort& port) {
-    for (size_t dest = 0; dest < staged_.size(); ++dest) {
-      if (staged_[dest].empty()) continue;
-      port.PostBatch(static_cast<int>(dest), std::move(staged_[dest]));
-      staged_[dest].Clear();
+    for (size_t i = 0; i < staged_.size(); ++i) {
+      if (staged_[i].empty()) continue;
+      port.PostBatch(dest_base_ + static_cast<int>(i), std::move(staged_[i]));
+      staged_[i].Clear();
     }
   }
 
  private:
   uint32_t target_ = 1;
-  std::vector<TupleBatch> staged_;  // indexed by destination task id
+  int dest_base_ = 0;
+  std::vector<TupleBatch> staged_;  // indexed by dest task id - dest_base_
+};
+
+/// Abstract facade over a distributed join operator assembled on an Engine.
+/// JoinOperator (the paper's adaptive operator) and ShjOperator (the
+/// content-sensitive baseline) implement it, so harnesses — RunWorkload,
+/// benches, tests, Dataflow — drive either through one type instead of a
+/// template per facade. Input flows in through Push (single producer);
+/// results leave either by quiescent polling (TotalOutputs / CollectPairs)
+/// or, once RouteResultsTo wired a streaming egress, as kResult batches
+/// pushed to sink tasks while the stream is still running.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Feeds one input tuple through the operator's ingress port (staged per
+  /// the ingress batch target). Single-producer; the caller drives engine
+  /// quiescence (see RunWorkload).
+  virtual void Push(const StreamTuple& tuple) = 0;
+
+  /// Sets the ingress batch target: input envelopes staged per destination
+  /// before they ship as one IngressPort::PostBatch. 1 posts per tuple
+  /// (required for deterministic per-tuple runs).
+  virtual void SetIngressBatch(uint32_t target) = 0;
+
+  /// Ships every staged input batch (any size) and flushes the port, so a
+  /// quiescent engine has seen every pushed tuple.
+  virtual void FlushInput() = 0;
+
+  /// Posts a barrier-mode migration checkpoint (no-op on non-adaptive
+  /// operators). Flushes staged input first.
+  virtual void Checkpoint() = 0;
+
+  /// Signals end-of-stream on every ingress edge (flushes staged input
+  /// first, so EOS cannot overtake it).
+  virtual void SendEos() = 0;
+
+  /// Streaming egress: routes every joiner's results as kResult batches to
+  /// `sinks`, round-robin by joiner slot (one sink streams everything; a
+  /// downstream stage passes its reshuffler ids). Every sink id must be
+  /// higher than this operator's task ids — the exchange plane's
+  /// deadlock-freedom ordering — which Dataflow guarantees by wiring
+  /// stages in creation order. Call after construction, before the engine
+  /// starts dispatching.
+  virtual void RouteResultsTo(const std::vector<int>& sinks) = 0;
+
+  /// Joiner introspection (engine must be quiescent): per-slot cores, the
+  /// number of allocated slots, and the input-sequence counter.
+  virtual const JoinerCore& joiner(size_t i) const = 0;
+  /// Allocated joiner slots (includes not-yet-active expansion slots).
+  virtual size_t num_joiner_slots() const = 0;
+  /// Tuples pushed so far (the next driver-stamped sequence number).
+  virtual uint64_t pushed_total() const = 0;
+  /// The adaptivity controller, or null for non-adaptive operators.
+  virtual const ControllerCore* controller() const = 0;
+
+  /// Sum of joiner output counts. Engine must be quiescent.
+  virtual uint64_t TotalOutputs() const = 0;
+  /// All collected (r_seq, s_seq) pairs, sorted (collect_pairs mode).
+  virtual std::vector<std::pair<uint64_t, uint64_t>> CollectPairs() const = 0;
+  /// Max per-joiner received input bytes — the measured ILF.
+  virtual uint64_t MaxInBytes() const = 0;
+  /// Total bytes currently stored across the cluster.
+  virtual uint64_t TotalStoredBytes() const = 0;
 };
 
 /// The paper's dataflow theta-join operator (Dynamic / StaticMid /
 /// StaticOpt depending on configuration).
-class JoinOperator {
+class JoinOperator : public Operator {
  public:
   JoinOperator(Engine& engine, OperatorConfig config);
 
@@ -110,26 +180,37 @@ class JoinOperator {
   /// batch target > 1 the tuple is staged per reshuffler and shipped as a
   /// PostBatch once the target is reached. The caller drives engine
   /// quiescence (see RunWorkload). Single-producer, like the port under it.
-  void Push(const StreamTuple& tuple);
+  void Push(const StreamTuple& tuple) override;
 
   /// Sets the ingress batch target: input envelopes staged per reshuffler
   /// before they ship as one PostBatch. 1 (default) posts per tuple —
   /// required for deterministic per-tuple runs; threaded runs use
   /// size-targeted batches (see RunOptions::ingress_batch).
-  void SetIngressBatch(uint32_t target);
+  void SetIngressBatch(uint32_t target) override;
 
   /// Ships every staged input batch (any size) and flushes the port, so a
   /// quiescent engine has seen every pushed tuple. Checkpoint/SendEos call
   /// it implicitly; drivers call it before WaitQuiescent.
-  void FlushInput();
+  void FlushInput() override;
 
   /// Posts a barrier-mode migration checkpoint to the controller (after
   /// flushing staged input, so the checkpoint cannot overtake it).
-  void Checkpoint();
+  void Checkpoint() override;
 
   /// Signals end-of-stream to all reshufflers (after flushing staged
   /// input, so EOS cannot overtake it on any ingress edge).
-  void SendEos();
+  void SendEos() override;
+
+  /// Routes every joiner's results to `sinks`, round-robin by joiner slot
+  /// (see Operator::RouteResultsTo for the id-ordering contract). Call
+  /// before the engine starts dispatching.
+  void RouteResultsTo(const std::vector<int>& sinks) override;
+
+  /// Marks this operator as a cascade stage: every reshuffler accepts
+  /// kResult envelopes from an upstream stage's egress as relation `rel`
+  /// inputs, keyed by result-row column `key_col` (-1 keeps the upstream
+  /// join key). Wiring-time only (Dataflow::Connect).
+  void AcceptResultsAs(Rel rel, int key_col);
 
   /// The deterministic reshuffler spray Push applies to sequence number
   /// `seq` (paper: incoming tuples are randomly routed to reshufflers).
@@ -137,30 +218,40 @@ class JoinOperator {
   /// numbers route exactly like a single Push-driven run.
   static int ReshufflerFor(uint64_t seq, uint32_t num_reshufflers);
 
+  /// Number of reshufflers (== machines J).
   uint32_t num_reshufflers() const { return num_reshufflers_; }
-  size_t num_joiner_slots() const { return joiner_ids_.size(); }
-  uint64_t pushed_total() const { return seq_; }
+  /// Allocated joiner slots (all groups, including expansion headroom).
+  size_t num_joiner_slots() const override { return joiner_ids_.size(); }
+  /// Tuples pushed so far (the next sequence number Push will stamp).
+  uint64_t pushed_total() const override { return seq_; }
+  /// Engine task ids of this operator's reshufflers — the ingress targets a
+  /// Dataflow upstream stage wires its egress to.
+  const std::vector<int>& reshuffler_ids() const { return reshuffler_ids_; }
 
-  const JoinerCore& joiner(size_t i) const;
+  /// Joiner core at slot `i` (engine must be quiescent).
+  const JoinerCore& joiner(size_t i) const override;
   /// Mutable access for recovery (RestoreState); engine must be quiescent.
   JoinerCore* mutable_joiner(size_t i);
+  /// Reshuffler core at index `i` (engine must be quiescent).
   const ReshufflerCore& reshuffler(size_t i) const;
   /// The controller (hosted on reshuffler 0).
-  const ControllerCore* controller() const;
+  const ControllerCore* controller() const override;
 
   /// Sets the next input sequence number (recovery replay watermark).
   void SetNextSeq(uint64_t seq) { seq_ = seq; }
 
   /// Sum of joiner output counts. Engine must be quiescent.
-  uint64_t TotalOutputs() const;
+  uint64_t TotalOutputs() const override;
   /// All collected (r_seq, s_seq) pairs, sorted (collect_pairs mode).
-  std::vector<std::pair<uint64_t, uint64_t>> CollectPairs() const;
+  std::vector<std::pair<uint64_t, uint64_t>> CollectPairs() const override;
   /// Max per-joiner received input bytes — the measured ILF.
-  uint64_t MaxInBytes() const;
+  uint64_t MaxInBytes() const override;
   /// Total bytes currently stored across the cluster.
-  uint64_t TotalStoredBytes() const;
+  uint64_t TotalStoredBytes() const override;
 
+  /// The configuration the operator was assembled with.
   const OperatorConfig& config() const { return config_; }
+  /// True when J decomposed into several binary groups (section 4.2.2).
   bool multi_group() const { return group_count_ > 1; }
 
  private:
@@ -169,6 +260,7 @@ class JoinOperator {
 
   Engine& engine_;
   OperatorConfig config_;
+  int task_base_ = 0;  // engine id of reshuffler 0 (num_tasks() at ctor)
   uint32_t num_reshufflers_ = 0;
   uint32_t group_count_ = 0;
   std::vector<int> reshuffler_ids_;
@@ -182,31 +274,43 @@ class JoinOperator {
 /// Content-sensitive parallel symmetric hash join (the Shj baseline of
 /// section 5): hash-partitions both inputs on the join key — no replication,
 /// no adaptivity, equi-joins only, collapses under key skew.
-class ShjOperator {
+class ShjOperator : public Operator {
  public:
   ShjOperator(Engine& engine, OperatorConfig config);
 
   /// Feeds one input tuple through the operator's ingress port (staged per
   /// the ingress batch target, like JoinOperator::Push).
-  void Push(const StreamTuple& tuple);
+  void Push(const StreamTuple& tuple) override;
   /// Input batch target before a PostBatch ships to the router (1 = post
   /// per tuple).
-  void SetIngressBatch(uint32_t target);
+  void SetIngressBatch(uint32_t target) override;
   /// Ships the staged input batch and flushes the port.
-  void FlushInput();
-  void Checkpoint() {}  // no adaptivity
+  void FlushInput() override;
+  /// No adaptivity: checkpoints are a no-op.
+  void Checkpoint() override {}
   /// Signals end-of-stream to the router (flushes staged input first).
-  void SendEos();
+  void SendEos() override;
+  /// Routes every joiner's results to `sinks`, round-robin by joiner slot
+  /// (see Operator::RouteResultsTo). Call before the engine starts.
+  void RouteResultsTo(const std::vector<int>& sinks) override;
 
-  const JoinerCore& joiner(size_t i) const;
-  size_t num_joiner_slots() const { return joiner_ids_.size(); }
-  uint64_t pushed_total() const { return seq_; }
-  const ControllerCore* controller() const { return nullptr; }
+  /// Joiner introspection (see Operator); engine must be quiescent.
+  const JoinerCore& joiner(size_t i) const override;
+  /// Allocated joiner slots.
+  size_t num_joiner_slots() const override { return joiner_ids_.size(); }
+  /// Tuples pushed so far.
+  uint64_t pushed_total() const override { return seq_; }
+  /// Always null: the SHJ baseline has no controller.
+  const ControllerCore* controller() const override { return nullptr; }
 
-  uint64_t TotalOutputs() const;
-  std::vector<std::pair<uint64_t, uint64_t>> CollectPairs() const;
-  uint64_t MaxInBytes() const;
-  uint64_t TotalStoredBytes() const;
+  /// Sum of joiner output counts (quiescent engine).
+  uint64_t TotalOutputs() const override;
+  /// All collected (r_seq, s_seq) pairs, sorted (collect_pairs mode).
+  std::vector<std::pair<uint64_t, uint64_t>> CollectPairs() const override;
+  /// Max per-joiner received input bytes.
+  uint64_t MaxInBytes() const override;
+  /// Total bytes currently stored across the cluster.
+  uint64_t TotalStoredBytes() const override;
 
  private:
   class ShjRouter;

@@ -31,9 +31,42 @@ ReshufflerCore::ReshufflerCore(ReshufflerConfig config)
   }
 }
 
+void ReshufflerCore::AcceptResults(Rel rel, int key_col) {
+  // One result-ingress configuration per reshuffler: kResult envelopes
+  // carry no source-stage id, so a second caller would silently repurpose
+  // the first edge's restamping.
+  AJOIN_CHECK_MSG(!accept_results_, "AcceptResults configured twice");
+  accept_results_ = true;
+  result_rel_ = rel;
+  result_key_col_ = key_col;
+}
+
+void ReshufflerCore::RestampResult(Envelope& msg) {
+  AJOIN_CHECK_MSG(accept_results_,
+                  "kResult at a reshuffler without AcceptResults");
+  msg.type = MsgType::kInput;
+  msg.rel = result_rel_;
+  if (result_key_col_ >= 0) {
+    AJOIN_CHECK_MSG(msg.has_row, "result key column without a result row");
+    msg.key = msg.row.Int64(static_cast<size_t>(result_key_col_));
+  }
+  msg.seq = kResultSeqBase + config_.index +
+            static_cast<uint64_t>(config_.num_reshufflers) *
+                results_restamped_++;
+  msg.epoch = 0;
+  msg.store = true;
+}
+
 void ReshufflerCore::OnMessage(Envelope msg, Context& ctx) {
   switch (msg.type) {
     case MsgType::kInput:
+      HandleInput(msg, ctx);
+      break;
+    case MsgType::kResult:
+      // Upstream-stage egress enters here like fresh input: restamp, then
+      // the ordinary routing path (controller duty included, so adaptivity
+      // runs on the cascaded stream too).
+      RestampResult(msg);
       HandleInput(msg, ctx);
       break;
     case MsgType::kEpochChange:
@@ -70,15 +103,25 @@ void ReshufflerCore::OnMessage(Envelope msg, Context& ctx) {
 }
 
 void ReshufflerCore::OnBatch(TupleBatch batch, Context& ctx) {
-  // Only pure input batches take the one-pass routing path. Control arrives
-  // as singleton batches (task.h invariant 3), so in practice this check is
-  // one type compare; a defensive scan keeps any unexpected mix on the
-  // per-envelope path instead of miscategorizing it.
+  // Only pure input batches take the one-pass routing path; a pure kResult
+  // batch (upstream egress) is restamped in place and becomes one. Control
+  // arrives as singleton batches (task.h invariant 3), so in practice this
+  // check is one type compare; a defensive scan keeps any unexpected mix on
+  // the per-envelope path instead of miscategorizing it.
+  if (batch.empty()) return;
+  const MsgType kind = batch.items.front().type;
+  if (kind != MsgType::kInput && kind != MsgType::kResult) {
+    Task::OnBatch(std::move(batch), ctx);
+    return;
+  }
   for (const Envelope& msg : batch.items) {
-    if (msg.type != MsgType::kInput) {
+    if (msg.type != kind) {
       Task::OnBatch(std::move(batch), ctx);
       return;
     }
+  }
+  if (kind == MsgType::kResult) {
+    for (Envelope& msg : batch.items) RestampResult(msg);
   }
   HandleInputBatch(batch, ctx);
 }
@@ -205,7 +248,8 @@ void ReshufflerCore::Broadcast(const std::vector<EpochSpec>& specs,
       Envelope change;
       change.type = MsgType::kEpochChange;
       change.espec = spec;
-      ctx.Send(static_cast<int>(r), std::move(change));
+      ctx.Send(config_.reshuffler_task_base + static_cast<int>(r),
+               std::move(change));
     }
   }
 }

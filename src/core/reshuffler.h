@@ -24,6 +24,13 @@
 
 namespace ajoin {
 
+/// Base of the restamped-result sequence band (see
+/// ReshufflerCore::AcceptResults): far above any driver-stamped sequence
+/// number, so a stage fed by both an upstream cascade and a direct driver
+/// stream never sees colliding seqs (tags, and collect_pairs identities,
+/// stay unique).
+constexpr uint64_t kResultSeqBase = uint64_t{1} << 62;
+
 struct GroupBlock {
   int joiner_task_base = 0;     // engine task id of the group's machine 0
   uint32_t alloc_machines = 0;  // allocated block size (>= J_g, for expansion)
@@ -38,6 +45,10 @@ struct ReshufflerConfig {
   uint32_t num_reshufflers = 1;
   std::vector<GroupBlock> groups;
   int controller_task = 0;  // task id of reshuffler 0
+  /// Engine task id of the operator's reshuffler 0. Reshuffler r lives at
+  /// reshuffler_task_base + r; non-zero when the operator is not the first
+  /// on its engine (Dataflow stages).
+  int reshuffler_task_base = 0;
   /// Set on reshuffler 0 only.
   bool is_controller = false;
   ControllerConfig controller;
@@ -54,6 +65,15 @@ class ReshufflerCore : public Task {
   explicit ReshufflerCore(ReshufflerConfig config);
 
   void OnMessage(Envelope msg, Context& ctx) override;
+
+  /// Accepts kResult envelopes from an upstream stage's joiner egress as
+  /// stage input: each result is restamped as relation `rel` with a fresh
+  /// sequence number from this reshuffler's private band (so tags stay
+  /// uniform and restamped seqs never collide across reshufflers or with
+  /// driver-stamped input), keyed by result-row column `key_col` (-1 keeps
+  /// the upstream join key), then routed exactly like kInput. Wiring-time
+  /// only: call before the engine starts dispatching.
+  void AcceptResults(Rel rel, int key_col);
 
   /// Batch routing (threaded engine, batched dispatch). Relies on the
   /// OnBatch invariants (src/runtime/task.h): the batch is one edge's FIFO
@@ -96,6 +116,7 @@ class ReshufflerCore : public Task {
 
   void HandleInput(Envelope& msg, Context& ctx);
   void HandleInputBatch(TupleBatch& batch, Context& ctx);
+  void RestampResult(Envelope& msg);
   void HandleEpochChange(Envelope& msg, Context& ctx);
   void Broadcast(const std::vector<EpochSpec>& specs, Context& ctx);
   void RouteToGroup(const Envelope& msg, uint64_t tag, uint32_t group,
@@ -108,6 +129,14 @@ class ReshufflerCore : public Task {
   std::unique_ptr<ControllerCore> controller_;
   std::unique_ptr<StreamStats> stats_;
   ReshufflerMetrics metrics_;
+
+  // Result-ingress state (AcceptResults): restamped seqs are
+  // kResultSeqBase + index + num_reshufflers * counter — a private band per
+  // reshuffler, disjoint from driver-stamped seqs.
+  bool accept_results_ = false;
+  Rel result_rel_ = Rel::kR;
+  int result_key_col_ = -1;
+  uint64_t results_restamped_ = 0;
 
   // Batch-routing scratch, reused across batches: one output run per
   // allocated joiner slot (flattened across group blocks) plus the engine

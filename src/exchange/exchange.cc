@@ -17,9 +17,9 @@ constexpr std::chrono::milliseconds kParkTimeout{1};
 ExchangePlane::ExchangePlane(size_t num_tasks, const ExchangeConfig& config)
     : num_tasks_(num_tasks),
       config_(config),
-      edge_matrix_((num_tasks + 1 + config.max_ingress_ports) * num_tasks),
+      edge_matrix_((num_tasks + config.max_ingress_ports) * num_tasks),
       inboxes_(num_tasks),
-      outboxes_(num_tasks + 1 + config.max_ingress_ports) {
+      outboxes_(num_tasks + config.max_ingress_ports) {
   AJOIN_CHECK_MSG(config.batch_size >= 1, "batch_size must be >= 1");
   for (Inbox& inbox : inboxes_) {
     // Reserved so concurrent readers of edges[i < n_edges] never observe a

@@ -59,10 +59,9 @@ struct ExchangeConfig {
   /// per envelope (false — the per-envelope dispatch baseline the
   /// fig_exchange_throughput bench measures against).
   bool batch_dispatch = true;
-  /// External producer slots available to Engine::OpenIngress, on top of
-  /// the always-present default ingress lane the deprecated Engine::Post
-  /// shim uses. Each slot is a full per-consumer edge row (rings created
-  /// lazily on first send), so the cost of a generous bound is pointers.
+  /// External producer slots available to Engine::OpenIngress. Each slot is
+  /// a full per-consumer edge row (rings created lazily on first send), so
+  /// the cost of a generous bound is pointers.
   uint32_t max_ingress_ports = 8;
 };
 
@@ -81,18 +80,18 @@ struct ExchangeStatsSnapshot {
 class ExchangePlane {
  public:
   /// `num_tasks` consumers; producer ids are [0, num_tasks +
-  /// config.max_ingress_ports]: workers occupy [0, num_tasks), id num_tasks
-  /// is the default external (driver) lane, and the remaining ids are
-  /// ingress-port slots handed out by the engine.
+  /// config.max_ingress_ports): workers occupy [0, num_tasks), the
+  /// remaining ids are external ingress-port slots handed out by the
+  /// engine.
   ExchangePlane(size_t num_tasks, const ExchangeConfig& config);
   ~ExchangePlane();
 
   ExchangePlane(const ExchangePlane&) = delete;
   ExchangePlane& operator=(const ExchangePlane&) = delete;
 
-  /// The default external lane (the deprecated Engine::Post shim's slot).
+  /// The first external (ingress-port) producer slot.
   size_t external_producer() const { return num_tasks_; }
-  /// Total producer ids, workers + default lane + ingress-port slots.
+  /// Total producer ids, workers + ingress-port slots.
   size_t num_producers() const { return outboxes_.size(); }
 
  private:

@@ -14,6 +14,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kEos: return "Eos";
     case MsgType::kExpand: return "Expand";
     case MsgType::kCheckpoint: return "Checkpoint";
+    case MsgType::kResult: return "Result";
   }
   return "?";
 }

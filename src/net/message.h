@@ -26,7 +26,15 @@ enum class MsgType : uint8_t {
   kEos,           // driver -> reshuffler -> joiner: end of stream
   kExpand,        // controller -> all: elastic expansion (J -> 4J)
   kCheckpoint,    // driver -> controller: barrier-mode migration checkpoint
+  kResult,        // joiner -> sink / next stage: one join result (epoch-
+                  // agnostic; field use: key = join key, seq = r_seq,
+                  // tag = s_seq, bytes = r+s bytes, row = r_row ++ s_row)
 };
+
+/// Number of MsgType values. Keep in lockstep with the enum above; the
+/// message tests assert MsgTypeName covers exactly this many values, so an
+/// unnamed (or uncounted) type cannot ship.
+constexpr uint8_t kNumMsgTypes = 11;
 
 const char* MsgTypeName(MsgType type);
 
@@ -103,6 +111,7 @@ inline bool IsControlMsg(MsgType type) {
     case MsgType::kInput:
     case MsgType::kData:
     case MsgType::kMigrate:
+    case MsgType::kResult:
       return false;
     default:
       return true;

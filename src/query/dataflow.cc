@@ -1,0 +1,100 @@
+#include "src/query/dataflow.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace ajoin {
+
+void ResultSink::OnMessage(Envelope msg, Context& ctx) {
+  (void)ctx;
+  if (msg.type == MsgType::kEos) return;
+  AJOIN_CHECK_MSG(msg.type == MsgType::kResult,
+                  "ResultSink: unexpected message type");
+  ++count_;
+  total_bytes_ += msg.bytes;
+  if (options_.collect_pairs) pairs_.emplace_back(msg.seq, msg.tag);
+  if (options_.collect_rows) {
+    AJOIN_CHECK_MSG(msg.has_row, "collect_rows sink fed row-less results");
+    rows_.push_back(std::move(msg.row));
+  }
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> ResultSink::SortedPairs() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out = pairs_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int Dataflow::AddJoin(const OperatorConfig& config) {
+  Stage stage;
+  stage.op = std::make_unique<JoinOperator>(engine_, config);
+  stages_.push_back(std::move(stage));
+  return static_cast<int>(stages_.size()) - 1;
+}
+
+int Dataflow::AddSink(ResultSink::Options options) {
+  Stage stage;
+  auto sink = std::make_unique<ResultSink>(options);
+  stage.sink = sink.get();
+  stage.sink_task = engine_.AddTask(std::move(sink));
+  stages_.push_back(std::move(stage));
+  return static_cast<int>(stages_.size()) - 1;
+}
+
+void Dataflow::Connect(int from, int to, ConnectOptions options) {
+  AJOIN_CHECK_MSG(from >= 0 && from < static_cast<int>(stages_.size()) &&
+                      to >= 0 && to < static_cast<int>(stages_.size()),
+                  "Connect: unknown stage");
+  AJOIN_CHECK_MSG(from < to,
+                  "Connect: stages must be wired in creation order (result "
+                  "edges point at higher task ids)");
+  Stage& src = stages_[static_cast<size_t>(from)];
+  Stage& dst = stages_[static_cast<size_t>(to)];
+  AJOIN_CHECK_MSG(src.op != nullptr, "Connect: source must be a join stage");
+  AJOIN_CHECK_MSG(!src.connected_out, "Connect: stage egress already wired");
+  src.connected_out = true;
+  if (dst.op != nullptr) {
+    // One inbound result edge per join stage: a reshuffler cannot tell
+    // result envelopes from different upstream stages apart, so a second
+    // edge would silently overwrite the first edge's rel/key_col
+    // restamping. (Sinks take any number of inbound edges.)
+    AJOIN_CHECK_MSG(!dst.connected_in,
+                    "Connect: join stage already has an inbound result edge");
+    dst.connected_in = true;
+    src.op->RouteResultsTo(dst.op->reshuffler_ids());
+    dst.op->AcceptResultsAs(options.rel, options.key_col);
+  } else {
+    src.op->RouteResultsTo({dst.sink_task});
+  }
+}
+
+JoinOperator& Dataflow::join(int handle) {
+  AJOIN_CHECK_MSG(handle >= 0 && handle < static_cast<int>(stages_.size()),
+                  "join(): unknown stage");
+  Stage& stage = stages_[static_cast<size_t>(handle)];
+  AJOIN_CHECK_MSG(stage.op != nullptr, "join(): not a join stage");
+  return *stage.op;
+}
+
+const ResultSink& Dataflow::sink(int handle) const {
+  AJOIN_CHECK_MSG(handle >= 0 && handle < static_cast<int>(stages_.size()),
+                  "sink(): unknown stage");
+  const Stage& stage = stages_[static_cast<size_t>(handle)];
+  AJOIN_CHECK_MSG(stage.sink != nullptr, "sink(): not a sink stage");
+  return *stage.sink;
+}
+
+void Dataflow::FlushInput() {
+  for (Stage& stage : stages_) {
+    if (stage.op != nullptr) stage.op->FlushInput();
+  }
+}
+
+void Dataflow::SendEos() {
+  for (Stage& stage : stages_) {
+    if (stage.op != nullptr) stage.op->SendEos();
+  }
+}
+
+}  // namespace ajoin

@@ -1,0 +1,148 @@
+// Dataflow: composable multi-stage streaming topologies over the adaptive
+// join operator — the egress-side counterpart of the ingress-port redesign.
+// Where src/query/pipeline.h materializes every intermediate before the
+// distributed stage (the Squall pattern the paper evaluates), a Dataflow
+// wires stage A's joiner egress directly into stage B's reshufflers as
+// internal engine edges: a two-join cascade runs fully online, with live
+// migrations active in every stage and no intermediate relation ever
+// materialized.
+//
+// Wiring model: stages are created in topological order (AddJoin / AddSink
+// allocate strictly increasing task-id blocks on the engine), and
+// Connect(a, b) points a's joiners at b — round-robin over b's reshufflers
+// for a join stage, or at the sink task itself. Result edges therefore
+// always point at higher task ids, so the exchange plane's id-ordered
+// credit blocking (deadlock freedom) applies to cascades unchanged.
+// Egress rides MsgType::kResult batches (epoch-agnostic; see
+// src/net/message.h for the field contract); a receiving reshuffler
+// restamps each result as fresh input in a private sequence band
+// (ReshufflerCore::AcceptResults), so tags stay uniform and adaptivity runs
+// on the cascaded stream too.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/core/operator.h"
+#include "src/runtime/task.h"
+
+namespace ajoin {
+
+/// Terminal consumer of a streaming egress edge: an engine task that
+/// records every kResult envelope it receives. Results arrive while the
+/// stream is still running (no quiescent polling); read the accessors only
+/// when the engine is quiescent.
+class ResultSink : public Task {
+ public:
+  struct Options {
+    /// Record (r_seq, s_seq) result identities (SortedPairs).
+    bool collect_pairs = true;
+    /// Record result rows (rows) — requires upstream joiners to keep rows.
+    bool collect_rows = false;
+  };
+
+  /// Constructs a sink recording pair identities only.
+  ResultSink() : ResultSink(Options()) {}
+  /// Constructs a sink; `options` picks what is recorded per result.
+  explicit ResultSink(Options options) : options_(options) {}
+
+  /// Counts the result and records pair/row per the options. Accepts only
+  /// kResult (and ignores kEos, so a sink can sit on any egress edge).
+  void OnMessage(Envelope msg, Context& ctx) override;
+
+  /// Results received so far (quiescent engine).
+  uint64_t count() const { return count_; }
+  /// Sum of received result byte sizes (r bytes + s bytes per result).
+  uint64_t total_bytes() const { return total_bytes_; }
+  /// All received (r_seq, s_seq) identities, sorted — directly comparable
+  /// to Operator::CollectPairs().
+  std::vector<std::pair<uint64_t, uint64_t>> SortedPairs() const;
+  /// Received result rows (collect_rows mode), in arrival order.
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  Options options_;
+  uint64_t count_ = 0;
+  uint64_t total_bytes_ = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> pairs_;
+  std::vector<Row> rows_;
+};
+
+/// Builder/owner of a multi-stage streaming topology on one engine.
+/// Create stages in topological order, Connect them, Start() the engine,
+/// then push inputs through the stage facades (`join(stage).Push(...)`).
+class Dataflow {
+ public:
+  /// How a join-to-join connection re-interprets upstream results as
+  /// downstream input.
+  struct ConnectOptions {
+    /// Relation the upstream results enter the downstream stage as.
+    Rel rel = Rel::kR;
+    /// Result-row column holding the downstream join key; -1 keeps the
+    /// upstream join key (no row required).
+    int key_col = -1;
+  };
+
+  /// Builds an empty dataflow on `engine` (which must not have started).
+  explicit Dataflow(Engine& engine) : engine_(engine) {}
+
+  /// Adds an adaptive join stage (a full JoinOperator assembly on the
+  /// engine); returns its stage handle.
+  int AddJoin(const OperatorConfig& config);
+
+  /// Adds a terminal ResultSink stage (pairs only); returns its handle.
+  int AddSink() { return AddSink(ResultSink::Options()); }
+  /// Adds a terminal ResultSink stage; returns its stage handle.
+  int AddSink(ResultSink::Options options);
+
+  /// Wires stage `from`'s egress into stage `to` with default options
+  /// (results enter as relation R, keyed by the upstream join key).
+  /// Note the fan-in shape: each upstream joiner feeds one fixed
+  /// downstream reshuffler (round-robin by slot), so a small stage feeding
+  /// a large one drives at most num-upstream-joiner reshufflers; per-result
+  /// spraying is future headroom (see ROADMAP).
+  void Connect(int from, int to) { Connect(from, to, ConnectOptions()); }
+  /// Wires stage `from`'s joiner egress into stage `to`: round-robin over
+  /// `to`'s reshufflers when `to` is a join (which then treats each result
+  /// as a fresh `options.rel` input keyed by `options.key_col`), or
+  /// directly at the sink task. `from` must be a join stage created before
+  /// `to` (task-id order — the deadlock-freedom contract). An egress can
+  /// be connected once per upstream stage, and a join stage accepts at
+  /// most one inbound result edge (result envelopes carry no source-stage
+  /// id, so per-edge restamp options cannot coexist); sinks accept any
+  /// number.
+  void Connect(int from, int to, ConnectOptions options);
+
+  /// The join facade of stage `handle` (must be an AddJoin stage).
+  JoinOperator& join(int handle);
+  /// The sink of stage `handle` (must be an AddSink stage; engine must be
+  /// quiescent).
+  const ResultSink& sink(int handle) const;
+
+  /// Flushes staged input on every join stage (call before WaitQuiescent).
+  void FlushInput();
+
+  /// Signals end-of-stream to every join stage, in topological (creation)
+  /// order.
+  void SendEos();
+
+  /// Number of stages created so far.
+  size_t num_stages() const { return stages_.size(); }
+
+ private:
+  struct Stage {
+    std::unique_ptr<JoinOperator> op;  // null for sink stages
+    ResultSink* sink = nullptr;        // owned by the engine
+    int sink_task = -1;
+    bool connected_out = false;
+    bool connected_in = false;  // join stages: at most one result edge in
+  };
+
+  Engine& engine_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace ajoin

@@ -42,8 +42,8 @@ MaterializedRelation LocalJoin(const MaterializedRelation& left,
   for (const Row& row : probe.rows) {
     joiner.Probe(Opposite(build_rel), row, [&](const Row& r, const Row& s) {
       Row combined;
-      for (size_t i = 0; i < r.num_values(); ++i) combined.Append(r.value(i));
-      for (size_t i = 0; i < s.num_values(); ++i) combined.Append(s.value(i));
+      combined.AppendAll(r);
+      combined.AppendAll(s);
       out.rows.push_back(std::move(combined));
     });
   }

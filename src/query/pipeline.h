@@ -3,6 +3,10 @@
 // before online processing." A pipeline materializes dimension-side
 // intermediates with local pipelined joins (scan -> filter -> join ...) and
 // feeds the final, expensive join to the distributed adaptive operator.
+// This is the *baseline* consumption model: src/query/dataflow.h lifts the
+// materialization limitation by streaming one distributed join's egress
+// straight into the next (no intermediate relation, migrations live in
+// every stage); tests/egress_test.cc proves the two plans byte-identical.
 //
 // This layer also serves as a cross-check: the EQ5/EQ7 builders compute the
 // (Region |X| Nation |X| Supplier) intermediates by actually joining the

@@ -154,17 +154,16 @@ class Engine {
   /// port per driver thread gives mutex-free multi-producer ingress. On the
   /// threaded engine call after Start() and before Shutdown(); the number
   /// of ports is bounded by ExchangeConfig::max_ingress_ports. The port
-  /// must be destroyed before the engine.
+  /// must be destroyed before the engine. This is the only external
+  /// ingestion path (the old single-entry Post shim is retired).
   virtual std::unique_ptr<IngressPort> OpenIngress(int to) = 0;
 
-  /// Injects a message from outside (the driver/source).
-  ///
-  /// DEPRECATED: thin shim over a lazily-opened shared default port, kept
-  /// so single-driver call sites and the simulator keep working unchanged.
-  /// It serializes all callers on the default port's lock; concurrent
-  /// drivers should each OpenIngress their own port instead. After
-  /// Shutdown() the message is dropped (the port underneath rejects it).
-  virtual void Post(int to, Envelope msg) = 0;
+  /// Number of registered tasks — equivalently, the id AddTask will assign
+  /// next. Lets multi-operator assemblies (Dataflow) compute each stage's
+  /// task-id block before construction, which the exchange plane's
+  /// id-ordered credit blocking relies on (result edges must point at
+  /// higher ids).
+  virtual size_t num_tasks() const = 0;
 
   /// Blocks until all in-flight messages (and their transitive sends) have
   /// been processed. Envelopes buffered in an open ingress port count as
@@ -173,7 +172,7 @@ class Engine {
   virtual void WaitQuiescent() = 0;
 
   /// Stops dispatching and joins workers (no-op for the simulator). From
-  /// this point Post/PostBatch on any port (and the Post shim) reject.
+  /// this point Post/PostBatch on any port reject.
   virtual void Shutdown() = 0;
 
   /// Access to a task for post-run inspection. Only valid when quiescent.

@@ -130,13 +130,6 @@ void ThreadEngine::Start() {
   if (mode_ == ExchangeMode::kBatched) {
     plane_ =
         std::make_unique<ExchangePlane>(tasks_.size(), exchange_config_);
-    // The deprecated Post shim's lane: a normal port on the plane's default
-    // external slot, registered like any other so the WaitQuiescent sweep
-    // covers it. Its lock is the old global ingress mutex.
-    default_port_ = std::make_unique<PortImpl>(
-        this, 0, plane_->outbox(plane_->external_producer()),
-        plane_->external_producer());
-    ports_.push_back(default_port_.get());
   }
   workers_.reserve(tasks_.size());
   for (size_t i = 0; i < tasks_.size(); ++i) {
@@ -177,7 +170,7 @@ std::unique_ptr<IngressPort> ThreadEngine::OpenIngress(int to) {
     AJOIN_CHECK_MSG(next_port_slot_ < exchange_config_.max_ingress_ports,
                     "out of ingress-port slots; raise "
                     "ExchangeConfig::max_ingress_ports");
-    slot = plane_->external_producer() + 1 + next_port_slot_++;
+    slot = plane_->external_producer() + next_port_slot_++;
   }
   auto port = std::make_unique<PortImpl>(this, to, plane_->outbox(slot), slot);
   ports_.push_back(port.get());
@@ -271,7 +264,7 @@ void ThreadEngine::ClosePort(PortImpl* port) {
   }
   std::lock_guard<std::mutex> lock(ports_mu_);
   ports_.erase(std::remove(ports_.begin(), ports_.end(), port), ports_.end());
-  if (port->outbox_ != nullptr && port != default_port_.get()) {
+  if (port->outbox_ != nullptr) {
     free_port_slots_.push_back(port->slot_);
   }
 }
@@ -363,19 +356,6 @@ bool ThreadEngine::LegacyPost(int to, Envelope msg) {
     return false;
   }
   return true;
-}
-
-void ThreadEngine::Post(int to, Envelope msg) {
-  AJOIN_CHECK_MSG(started_, "Post before Start");
-  if (mode_ == ExchangeMode::kBatched) {
-    // Deprecated shim: all callers share the default port, so its lock is
-    // the serialization point the per-producer port API removes. A post
-    // after Shutdown is rejected inside and dropped.
-    (void)PortPost(*default_port_, to, std::move(msg));
-    return;
-  }
-  if (shut_down_.load(std::memory_order_acquire)) return;  // dropped
-  (void)LegacyPost(to, std::move(msg));
 }
 
 void ThreadEngine::WaitQuiescent() {

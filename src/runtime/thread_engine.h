@@ -27,10 +27,9 @@
 // rings, batcher, and credit accounts), so N driver threads holding N ports
 // never contend with each other. A port carries a private mutex, but it only
 // serializes the port's single producer against the engine's WaitQuiescent
-// port sweep — ports never share a lock. The deprecated Engine::Post is a
-// shim over one shared default port (slot ExchangePlane::external_producer),
-// whose lock is exactly the old global ingress_mu_ — concurrent Post callers
-// serialize there, which is the contention the port API removes.
+// port sweep — ports never share a lock. (The old single-entry Engine::Post
+// shim — one shared default port whose lock was the global ingress mutex —
+// is retired; ports are the only way in.)
 
 #pragma once
 
@@ -71,8 +70,8 @@ class ThreadEngine : public Engine {
   /// global throttle, so the handle is a compatibility veneer, not a
   /// contention win.
   std::unique_ptr<IngressPort> OpenIngress(int to) override;
-  /// DEPRECATED shim over the shared default ingress port (see task.h).
-  void Post(int to, Envelope msg) override;
+  /// Registered task count (the next id AddTask assigns).
+  size_t num_tasks() const override { return tasks_.size(); }
   void WaitQuiescent() override;
   void Shutdown() override;
   Task* task(int id) override { return tasks_[static_cast<size_t>(id)].get(); }
@@ -122,7 +121,6 @@ class ThreadEngine : public Engine {
   std::vector<PortImpl*> ports_;
   size_t next_port_slot_ = 0;              // guarded by ports_mu_
   std::vector<size_t> free_port_slots_;    // closed ports' slots, reusable
-  std::unique_ptr<PortImpl> default_port_; // the deprecated Post shim's lane
 
   // Legacy plane.
   std::vector<std::unique_ptr<Channel>> channels_;

@@ -66,11 +66,6 @@ std::unique_ptr<IngressPort> SimEngine::OpenIngress(int to) {
   return std::make_unique<SimPort>(this, to);
 }
 
-void SimEngine::Post(int to, Envelope msg) {
-  if (default_port_ == nullptr) default_port_ = OpenIngress(to);
-  (void)default_port_->Post(to, std::move(msg));  // dropped after Shutdown
-}
-
 void SimEngine::WaitQuiescent() {
   AJOIN_CHECK_MSG(!draining_, "reentrant WaitQuiescent");
   draining_ = true;

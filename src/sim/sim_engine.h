@@ -26,23 +26,22 @@ class SimEngine : public Engine {
 
   void Start() override {}
 
-  /// Deterministic ingress port: Post enqueues exactly like Engine::Post
-  /// did, PostBatch enqueues the batch's envelopes one by one in order (so
-  /// per-tuple semantics — and a driver's drain_every cadence — are
-  /// preserved), Flush is a no-op (nothing is ever buffered). May be opened
-  /// at any time; any number of ports.
+  /// Deterministic ingress port: Post enqueues directly onto the global
+  /// FIFO queue, PostBatch enqueues the batch's envelopes one by one in
+  /// order (so per-tuple semantics — and a driver's drain_every cadence —
+  /// are preserved), Flush is a no-op (nothing is ever buffered). May be
+  /// opened at any time; any number of ports.
   std::unique_ptr<IngressPort> OpenIngress(int to) override;
 
-  /// DEPRECATED shim over a lazily-opened default port (see task.h). After
-  /// Shutdown() the message is dropped.
-  void Post(int to, Envelope msg) override;
+  /// Registered task count (the next id AddTask assigns).
+  size_t num_tasks() const override { return tasks_.size(); }
 
   /// Drains the queue to empty, dispatching in FIFO order.
   void WaitQuiescent() override;
 
-  /// Marks the engine shut down: subsequent Post/PostBatch reject (ports
-  /// return false, the Post shim drops). Messages accepted earlier still
-  /// drain at the next WaitQuiescent, mirroring the threaded engine.
+  /// Marks the engine shut down: subsequent Post/PostBatch on any port
+  /// reject (return false). Messages accepted earlier still drain at the
+  /// next WaitQuiescent, mirroring the threaded engine.
   void Shutdown() override { shut_down_ = true; }
 
   Task* task(int id) override { return tasks_[static_cast<size_t>(id)].get(); }
@@ -58,7 +57,6 @@ class SimEngine : public Engine {
 
   std::vector<std::unique_ptr<Task>> tasks_;
   std::deque<std::pair<int, Envelope>> queue_;
-  std::unique_ptr<IngressPort> default_port_;  // backs the Post shim
   uint64_t logical_time_ = 0;
   uint64_t dispatched_ = 0;
   bool draining_ = false;

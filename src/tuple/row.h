@@ -25,6 +25,13 @@ class Row {
   Value& value(size_t i) { return values_[i]; }
   void Append(Value v) { values_.push_back(std::move(v)); }
 
+  /// Appends every value of `other` in order — the single definition of
+  /// row concatenation (LocalJoin output and streaming kResult rows must
+  /// concatenate identically; see tests/egress_test.cc).
+  void AppendAll(const Row& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  }
+
   int64_t Int64(size_t i) const { return values_[i].AsInt64(); }
   double Double(size_t i) const { return values_[i].AsNumeric(); }
   const std::string& String(size_t i) const { return values_[i].AsString(); }

@@ -67,7 +67,8 @@ TEST(SimEngine, FifoOrder) {
   auto* task = new RecorderTask();
   engine.AddTask(std::unique_ptr<Task>(task));
   engine.Start();
-  for (uint64_t i = 0; i < 100; ++i) engine.Post(0, SeqMsg(i));
+  std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
+  for (uint64_t i = 0; i < 100; ++i) ASSERT_TRUE(port->Post(SeqMsg(i)));
   engine.WaitQuiescent();
   ASSERT_EQ(task->seen().size(), 100u);
   for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(task->seen()[i], i);
@@ -81,8 +82,9 @@ TEST(SimEngine, RunToCompletionInterleaving) {
   engine.AddTask(std::make_unique<RecorderTask>(1));  // A -> B
   engine.AddTask(std::unique_ptr<Task>(b));
   engine.Start();
-  engine.Post(0, SeqMsg(1));
-  engine.Post(0, SeqMsg(2));
+  std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
+  ASSERT_TRUE(port->Post(SeqMsg(1)));
+  ASSERT_TRUE(port->Post(SeqMsg(2)));
   engine.WaitQuiescent();
   EXPECT_EQ(b->seen(), (std::vector<uint64_t>{1, 2}));
   EXPECT_EQ(engine.dispatched(), 4u);
@@ -95,7 +97,7 @@ TEST(SimEngine, DeterministicDispatchCount) {
     engine.AddTask(std::make_unique<FanoutTask>(0, 2));
     engine.AddTask(std::make_unique<RecorderTask>());
     engine.Start();
-    engine.Post(0, SeqMsg(6));
+    engine.OpenIngress(0)->Post(SeqMsg(6));
     engine.WaitQuiescent();
     return engine.dispatched();
   };
@@ -118,7 +120,9 @@ TEST(ThreadEngine, PerChannelFifo) {
     auto* task = new RecorderTask();
     engine->AddTask(std::unique_ptr<Task>(task));
     engine->Start();
-    for (uint64_t i = 0; i < 10000; ++i) engine->Post(0, SeqMsg(i));
+    std::unique_ptr<IngressPort> port = engine->OpenIngress(0);
+    for (uint64_t i = 0; i < 10000; ++i) ASSERT_TRUE(port->Post(SeqMsg(i)));
+    port->Flush();
     engine->WaitQuiescent();
     ASSERT_EQ(task->seen().size(), 10000u) << "batched=" << batched;
     for (uint64_t i = 0; i < 10000; ++i) ASSERT_EQ(task->seen()[i], i);
@@ -133,7 +137,7 @@ TEST(ThreadEngine, QuiescenceCoversTransitiveSends) {
     engine->AddTask(std::make_unique<FanoutTask>(0, 1));  // self-recursive
     engine->AddTask(std::unique_ptr<Task>(sink));         // 1
     engine->Start();
-    engine->Post(0, SeqMsg(10));
+    engine->OpenIngress(0)->Post(SeqMsg(10));
     engine->WaitQuiescent();
     // The depth-10 cascade deposits exactly 10 messages (seq 9..0) at the
     // sink; quiescence must have waited for the whole chain.
@@ -151,7 +155,9 @@ TEST(ThreadEngine, ThrottleDoesNotDeadlock) {
   engine.AddTask(std::make_unique<FanoutTask>(1, 1));
   engine.AddTask(std::unique_ptr<Task>(sink));
   engine.Start();
-  for (uint64_t i = 0; i < 2000; ++i) engine.Post(0, SeqMsg(3));
+  // Legacy-plane ports share the channel path and its global throttle.
+  std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
+  for (uint64_t i = 0; i < 2000; ++i) ASSERT_TRUE(port->Post(SeqMsg(3)));
   engine.WaitQuiescent();
   // Each post fans out to the sink twice (seq 2, non-recursive at the sink).
   EXPECT_EQ(sink->seen().size(), 4000u);
@@ -164,36 +170,31 @@ TupleBatch SeqBatch(uint64_t first, uint64_t count) {
   return batch;
 }
 
-// A port must deliver exactly what Post delivered, in the same per-edge
-// order, on the deterministic engine — and PostBatch must unpack to the
-// same per-tuple queue entries (same dispatched count).
-TEST(SimEngine, IngressPortMatchesPost) {
-  auto run = [](bool use_port, bool use_batches) {
+// PostBatch must unpack to the same per-tuple queue entries as per-envelope
+// Post, in the same per-edge order, on the deterministic engine (same
+// dispatched count — the drain_every-preservation contract).
+TEST(SimEngine, IngressPortBatchMatchesPerEnvelope) {
+  auto run = [](bool use_batches) {
     SimEngine engine;
     auto* task = new RecorderTask();
     engine.AddTask(std::unique_ptr<Task>(task));
     engine.Start();
-    if (use_port) {
-      std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
-      EXPECT_EQ(port->to(), 0);
-      if (use_batches) {
-        for (uint64_t i = 0; i < 100; i += 10) {
-          EXPECT_TRUE(port->PostBatch(SeqBatch(i, 10)));
-        }
-      } else {
-        for (uint64_t i = 0; i < 100; ++i) EXPECT_TRUE(port->Post(SeqMsg(i)));
+    std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
+    EXPECT_EQ(port->to(), 0);
+    if (use_batches) {
+      for (uint64_t i = 0; i < 100; i += 10) {
+        EXPECT_TRUE(port->PostBatch(SeqBatch(i, 10)));
       }
-      port->Flush();
     } else {
-      for (uint64_t i = 0; i < 100; ++i) engine.Post(0, SeqMsg(i));
+      for (uint64_t i = 0; i < 100; ++i) EXPECT_TRUE(port->Post(SeqMsg(i)));
     }
+    port->Flush();
     engine.WaitQuiescent();
     EXPECT_EQ(engine.dispatched(), 100u);
     return task->seen();
   };
-  const std::vector<uint64_t> want = run(false, false);
-  EXPECT_EQ(run(true, false), want);
-  EXPECT_EQ(run(true, true), want);
+  const std::vector<uint64_t> want = run(false);
+  EXPECT_EQ(run(true), want);
 }
 
 // Post/PostBatch after Shutdown() must reject cleanly (return false, drop
@@ -209,7 +210,6 @@ TEST(SimEngine, PostAfterShutdownRejects) {
   engine.Shutdown();
   EXPECT_FALSE(port->Post(SeqMsg(2)));
   EXPECT_FALSE(port->PostBatch(SeqBatch(3, 4)));
-  engine.Post(0, SeqMsg(5));  // deprecated shim: dropped, no crash
   engine.WaitQuiescent();
   EXPECT_EQ(task->seen(), (std::vector<uint64_t>{1}));
 }
@@ -263,7 +263,7 @@ TEST(ThreadEngine, QuiescenceFlushesBufferedPort) {
 }
 
 // Post/PostBatch after Shutdown on the threaded engine: rejected cleanly on
-// both planes, including the deprecated Post shim, with no crash or hang.
+// both planes, with no crash or hang.
 TEST(ThreadEngine, PostAfterShutdownRejects) {
   for (bool batched : {false, true}) {
     std::unique_ptr<ThreadEngine> engine = MakeThreadEngine(batched);
@@ -277,7 +277,6 @@ TEST(ThreadEngine, PostAfterShutdownRejects) {
     EXPECT_FALSE(port->Post(SeqMsg(2))) << "batched=" << batched;
     EXPECT_FALSE(port->PostBatch(SeqBatch(3, 4))) << "batched=" << batched;
     port->Flush();                   // no-op after shutdown, must not crash
-    engine->Post(0, SeqMsg(5));      // deprecated shim: dropped
     EXPECT_EQ(task->seen(), (std::vector<uint64_t>{1}))
         << "batched=" << batched;
   }
@@ -350,9 +349,11 @@ TEST(ThreadEngine, ManyTasksShutdownCleanly) {
       engine->AddTask(std::unique_ptr<Task>(t));
     }
     engine->Start();
+    std::unique_ptr<IngressPort> port = engine->OpenIngress(0);
     for (uint64_t i = 0; i < 6400; ++i) {
-      engine->Post(static_cast<int>(i % 64), SeqMsg(i));
+      ASSERT_TRUE(port->Post(static_cast<int>(i % 64), SeqMsg(i)));
     }
+    port->Flush();
     engine->WaitQuiescent();
     size_t total = 0;
     for (auto* t : tasks) total += t->seen().size();

@@ -259,10 +259,12 @@ TEST(ThreadEngineBatched, BackpressureStallsAndResumes) {
   constexpr uint64_t kTotal = 200;
   std::atomic<uint64_t> posted{0};
   std::thread poster([&engine, &posted] {
+    std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
     for (uint64_t i = 0; i < kTotal; ++i) {
-      engine.Post(0, DataMsg(i));
+      ASSERT_TRUE(port->Post(DataMsg(i)));
       posted.fetch_add(1, std::memory_order_relaxed);
     }
+    port->Flush();
   });
   // The poster must hit the credit wall: 2 ring slots + 1 being "processed"
   // (held inside the gated OnMessage). Give it ample time to prove a stall.
@@ -290,7 +292,10 @@ TEST(ThreadEngineBatched, QuiescenceFlushesBufferedIngress) {
   auto* sink = new CountingTask();
   engine.AddTask(std::unique_ptr<Task>(sink));
   engine.Start();
-  for (uint64_t i = 0; i < 7; ++i) engine.Post(0, DataMsg(i));
+  std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
+  for (uint64_t i = 0; i < 7; ++i) ASSERT_TRUE(port->Post(DataMsg(i)));
+  // No explicit Flush: the quiescence port sweep must ship the partial
+  // batch.
   engine.WaitQuiescent();
   EXPECT_EQ(sink->count(), 7u);
   engine.Shutdown();
@@ -308,9 +313,10 @@ TEST(ThreadEngineBatched, DeadlineFlushDeliversPartialBatch) {
   auto* sink = new CountingTask();
   engine.AddTask(std::unique_ptr<Task>(sink));
   engine.Start();
-  for (uint64_t i = 0; i < 5; ++i) engine.Post(0, DataMsg(i));
+  std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
+  for (uint64_t i = 0; i < 5; ++i) ASSERT_TRUE(port->Post(DataMsg(i)));
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  for (uint64_t i = 5; i < 13; ++i) engine.Post(0, DataMsg(i));
+  for (uint64_t i = 5; i < 13; ++i) ASSERT_TRUE(port->Post(DataMsg(i)));
   // Everything posted before the sleep must arrive without WaitQuiescent;
   // poll briefly.
   for (int spin = 0; spin < 2000 && sink->count() < 5u; ++spin) {

@@ -1,8 +1,13 @@
-// Value / Row / Schema / serde tests.
+// Value / Row / Schema / serde tests, plus the message-envelope contract
+// (every MsgType named, control/data classification total).
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
+
 #include "src/common/random.h"
+#include "src/net/message.h"
 #include "src/tuple/row.h"
 #include "src/tuple/schema.h"
 #include "src/tuple/serde.h"
@@ -107,6 +112,45 @@ TEST(Serde, FuzzRandomBytesNeverCrash) {
       EXPECT_LE(offset, junk.size());
     }
   }
+}
+
+TEST(Message, EveryMsgTypeIsNamed) {
+  // Every value in [0, kNumMsgTypes) must have a real name, and the value
+  // just past the end must hit the switch fallback — so adding an enum
+  // value without a MsgTypeName case (or without bumping kNumMsgTypes)
+  // fails here instead of shipping an unnamed type.
+  for (uint8_t v = 0; v < kNumMsgTypes; ++v) {
+    const char* name = MsgTypeName(static_cast<MsgType>(v));
+    EXPECT_STRNE(name, "?") << "unnamed MsgType value " << int{v};
+    EXPECT_GT(std::strlen(name), 0u) << "empty name for value " << int{v};
+  }
+  EXPECT_STREQ(MsgTypeName(static_cast<MsgType>(kNumMsgTypes)), "?");
+}
+
+TEST(Message, NamesAreDistinct) {
+  for (uint8_t a = 0; a < kNumMsgTypes; ++a) {
+    for (uint8_t b = static_cast<uint8_t>(a + 1); b < kNumMsgTypes; ++b) {
+      EXPECT_STRNE(MsgTypeName(static_cast<MsgType>(a)),
+                   MsgTypeName(static_cast<MsgType>(b)))
+          << int{a} << " vs " << int{b};
+    }
+  }
+}
+
+TEST(Message, ControlDataClassification) {
+  // The egress plane depends on kResult being data (it must batch and ride
+  // SendRun); the migration protocol depends on its markers being control.
+  EXPECT_FALSE(IsControlMsg(MsgType::kInput));
+  EXPECT_FALSE(IsControlMsg(MsgType::kData));
+  EXPECT_FALSE(IsControlMsg(MsgType::kMigrate));
+  EXPECT_FALSE(IsControlMsg(MsgType::kResult));
+  EXPECT_TRUE(IsControlMsg(MsgType::kMigEnd));
+  EXPECT_TRUE(IsControlMsg(MsgType::kEpochChange));
+  EXPECT_TRUE(IsControlMsg(MsgType::kReshufSignal));
+  EXPECT_TRUE(IsControlMsg(MsgType::kMigAck));
+  EXPECT_TRUE(IsControlMsg(MsgType::kEos));
+  EXPECT_TRUE(IsControlMsg(MsgType::kExpand));
+  EXPECT_TRUE(IsControlMsg(MsgType::kCheckpoint));
 }
 
 TEST(Serde, EmptyRow) {

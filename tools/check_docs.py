@@ -10,7 +10,9 @@
    documented where implementers see it.
 3. Every public method of the external API classes must carry a doc
    comment: IngressPort/Engine in src/runtime/task.h (post-Shutdown
-   rejection contract, per-port threading rules, Post deprecation),
+   rejection contract, per-port threading rules), Operator and the two
+   facades in src/core/operator.h (egress routing / id-ordering contract),
+   Dataflow/ResultSink in src/query/dataflow.h (stage wiring, restamping),
    FlatHashIndex in src/index/flat_index.h and JoinIndex in
    src/localjoin/join_index.h (probe-order guarantees, Reserve semantics,
    ProbeRun pipeline contract). An undocumented method is a contract hole.
@@ -72,6 +74,8 @@ def check_onbatch_doc_comments():
 # (header, classes) pairs whose public methods must carry doc comments.
 API_SURFACES = (
     ("src/runtime/task.h", ("IngressPort", "Engine")),
+    ("src/core/operator.h", ("Operator", "JoinOperator", "ShjOperator")),
+    ("src/query/dataflow.h", ("Dataflow", "ResultSink")),
     ("src/index/flat_index.h", ("FlatHashIndex",)),
     ("src/localjoin/join_index.h", ("JoinIndex",)),
 )
