@@ -45,8 +45,10 @@
 #include "src/common/random.h"
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
+#include "src/common/trace_ring.h"
 #include "src/core/operator.h"
 #include "src/query/dataflow.h"
+#include "src/runtime/metrics_registry.h"
 #include "src/runtime/thread_engine.h"
 #include "src/sim/sim_engine.h"
 
@@ -236,6 +238,8 @@ std::vector<StreamTuple> MakeJoinStream(uint64_t n, uint64_t seed) {
 struct JoinRunResult {
   double tuples_per_sec = 0;
   ExchangeStatsSnapshot stats;
+  // Per-edge counters of the best rep, captured before Shutdown.
+  std::vector<EdgeStatsSnapshot> edges;
 };
 
 OperatorConfig StaticJoinConfig(uint32_t machines, bool use_flat_index) {
@@ -267,11 +271,32 @@ const Mode kJoinModes[] = {
 /// the egress axis) instead of only counting locally (`poll`).
 JoinRunResult JoinRun(const Mode& mode, uint32_t machines,
                       const std::vector<StreamTuple>& stream, int reps = 3,
-                      bool use_flat_index = true, bool egress_sink = false) {
+                      bool use_flat_index = true, bool egress_sink = false,
+                      bool telemetry = false) {
   JoinRunResult result;
   for (int rep = 0; rep < reps; ++rep) {
-    std::unique_ptr<ThreadEngine> engine = MakeEngine(mode);
-    JoinOperator op(*engine, StaticJoinConfig(machines, use_flat_index));
+    // Telemetry axis state (batched modes only): registry + trace wired into
+    // the operator and plane, sampler on its own thread at the default
+    // period — the whole live-observability plane running during the
+    // measured window.
+    TraceRing trace(4096);
+    MetricsRegistry registry;
+    std::unique_ptr<ThreadEngine> engine;
+    if (telemetry && !mode.legacy) {
+      ExchangeConfig xc;
+      xc.batch_size = mode.batch_size;
+      xc.batch_dispatch = mode.batch_dispatch;
+      xc.trace = &trace;
+      engine = std::make_unique<ThreadEngine>(xc);
+    } else {
+      engine = MakeEngine(mode);
+    }
+    OperatorConfig cfg = StaticJoinConfig(machines, use_flat_index);
+    if (telemetry) {
+      cfg.registry = &registry;
+      cfg.trace = &trace;
+    }
+    JoinOperator op(*engine, cfg);
     if (egress_sink) {
       ResultSink::Options opts;
       opts.collect_pairs = false;  // count + bytes only: pure egress cost
@@ -280,15 +305,25 @@ JoinRunResult JoinRun(const Mode& mode, uint32_t machines,
       op.RouteResultsTo({sink_task});
     }
     engine->Start();
+    TelemetrySampler sampler(&registry);
+    if (telemetry) {
+      ThreadEngine* raw = engine.get();
+      sampler.SetEdgeSource([raw] { return raw->edge_stats(); });
+      sampler.SetExchangeSource([raw] { return raw->exchange_stats(); });
+      sampler.SetTraceSource(&trace);
+      sampler.Start();
+    }
     Stopwatch clock;
     for (const StreamTuple& t : stream) op.Push(t);
     op.SendEos();
     engine->WaitQuiescent();
     double secs = clock.ElapsedSeconds();
+    if (telemetry) sampler.Stop();
     double rate = static_cast<double>(stream.size()) / secs;
     if (rate > result.tuples_per_sec) {
       result.tuples_per_sec = rate;
       result.stats = engine->exchange_stats();
+      result.edges = engine->edge_stats();
     }
     engine->Shutdown();
   }
@@ -584,6 +619,74 @@ int main() {
     }
   }
 
+  // Telemetry axis at the 4J operating point: the b64/batch run with the
+  // full observability plane live (per-task registry publishing, per-edge
+  // counters, trace ring, sampler thread at the default 10 ms period) vs.
+  // telemetry off, measured back-to-back so host drift cancels. Counter
+  // bumps are plain stores and snapshots are seqlock reads, so the on/off
+  // ratio must stay within 2%.
+  const Mode* b64_batch = nullptr;
+  for (const Mode& m : kJoinModes) {
+    if (std::string(m.name) == "b64/batch") b64_batch = &m;
+  }
+  AJOIN_CHECK_MSG(b64_batch != nullptr, "b64/batch missing from kJoinModes");
+  JoinRunResult tel_off = JoinRun(*b64_batch, 4, stream, /*reps=*/5);
+  JoinRunResult tel_on = JoinRun(*b64_batch, 4, stream, /*reps=*/5,
+                                 /*use_flat_index=*/true,
+                                 /*egress_sink=*/false, /*telemetry=*/true);
+  const double telemetry_ratio =
+      tel_off.tuples_per_sec > 0
+          ? tel_on.tuples_per_sec / tel_off.tuples_per_sec
+          : 0;
+  std::printf("\n%-14s %12s   (telemetry axis, b64/batch, 4J)\n", "telemetry",
+              "tuples/s");
+  std::printf("%-14s %12.0f\n%-14s %12.0f   ratio %.3fx (>= 0.98 required)\n",
+              "off", tel_off.tuples_per_sec, "on", tel_on.tuples_per_sec,
+              telemetry_ratio);
+  for (int e = 0; e < 2; ++e) {
+    const JoinRunResult& r = e == 0 ? tel_off : tel_on;
+    out.AddRow()
+        .Add("section", "join_4j_telemetry")
+        .Add("mode", b64_batch->name)
+        .Add("telemetry", e == 0 ? "off" : "on")
+        .Add("machines", 4)
+        .Add("tuples", kJoinTuples)
+        .Add("tuples_per_sec", r.tuples_per_sec)
+        .Add("credit_waits", r.stats.credit_waits)
+        .Add("credit_wait_ns", r.stats.credit_wait_ns)
+        .Add("overflow_batches", r.stats.overflow_batches);
+  }
+  // Per-edge backpressure rows + aggregates from the telemetry run: one row
+  // per active edge so the JSON shows where stalls and occupancy landed.
+  uint64_t edge_credit_waits = 0, edge_credit_wait_ns = 0;
+  uint64_t edge_overflow = 0, active_edges = 0;
+  uint32_t edge_ring_peak = 0;
+  for (const EdgeStatsSnapshot& edge : tel_on.edges) {
+    if (edge.batches == 0) continue;
+    ++active_edges;
+    edge_credit_waits += edge.credit_waits;
+    edge_credit_wait_ns += edge.credit_wait_ns;
+    edge_overflow += edge.overflow_batches;
+    edge_ring_peak = std::max(edge_ring_peak, edge.ring_peak);
+    out.AddRow()
+        .Add("section", "join_4j_edges")
+        .Add("producer", edge.producer)
+        .Add("consumer", edge.consumer)
+        .Add("batches", edge.batches)
+        .Add("envelopes", edge.envelopes)
+        .Add("credit_waits", edge.credit_waits)
+        .Add("credit_wait_ns", edge.credit_wait_ns)
+        .Add("overflow_batches", edge.overflow_batches)
+        .Add("ring_peak", static_cast<uint64_t>(edge.ring_peak))
+        .Add("ring_capacity", static_cast<uint64_t>(edge.ring_capacity));
+  }
+  std::printf("per-edge (telemetry run): %llu active edges, credit_waits "
+              "%llu, stall %.2f ms, overflow %llu, max ring_peak %u\n",
+              static_cast<unsigned long long>(active_edges),
+              static_cast<unsigned long long>(edge_credit_waits),
+              static_cast<double>(edge_credit_wait_ns) / 1e6,
+              static_cast<unsigned long long>(edge_overflow), edge_ring_peak);
+
   // ---- Acceptance summary -------------------------------------------------
   // "Per-tuple exchange" is every-envelope-ships-alone: the legacy mutex
   // plane and the batched plane at batch_size 1. The slower end-to-end
@@ -654,7 +757,13 @@ int main() {
       .Add("ingress_speedup_portbatch_vs_post_4producers", ingress_speedup_4p)
       .Add("ingress_speedup_port_vs_post_2producers", port_vs_post_2p)
       .Add("ingress_speedup_port_vs_post_4producers", port_vs_post_4p)
-      .Add("egress_sink_vs_poll_b64_batch", egress_ratio_b64);
+      .Add("egress_sink_vs_poll_b64_batch", egress_ratio_b64)
+      .Add("join4j_telemetry_overhead_ratio", telemetry_ratio)
+      .Add("join4j_edge_credit_waits", edge_credit_waits)
+      .Add("join4j_edge_credit_wait_ns", edge_credit_wait_ns)
+      .Add("join4j_edge_overflow_batches", edge_overflow)
+      .Add("join4j_edge_ring_peak", static_cast<uint64_t>(edge_ring_peak))
+      .Add("join4j_active_edges", active_edges);
   out.Write();
   return 0;
 }

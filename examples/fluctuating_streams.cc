@@ -2,30 +2,113 @@
 // the |R|/|S| cardinality ratio alternates between k and 1/k; the operator
 // keeps re-optimizing its (n,m)-mapping and the ILF stays within 1.25x of
 // the optimum (Theorem 4.6).
+//
+// Doubles as the telemetry-plane demo: the sim run wires a MetricsRegistry
+// and drain-interval TelemetrySampler (summary lines below), and with an
+// output path argument a second, threaded 4-joiner adaptive run samples on
+// the sampler's own thread — per-task seqlock snapshots, per-edge
+// backpressure counters, and the migration/stall trace ring — and exports
+// the series as schema-versioned JSON (tools/validate_telemetry.py checks
+// it).
 
 #include <cstdio>
 
+#include "src/common/trace_ring.h"
 #include "src/core/driver.h"
 #include "src/core/operator.h"
 #include "src/datagen/workloads.h"
+#include "src/runtime/metrics_registry.h"
+#include "src/runtime/thread_engine.h"
 #include "src/sim/sim_engine.h"
 
 using namespace ajoin;
 
-int main() {
+namespace {
+
+// Phase 2 (optional, enabled by an output path argument): the same
+// fluctuating workload on the threaded engine with live sampling during
+// migrations, exported as JSON. Small rings + small batches so credit
+// stalls actually occur and show up in the per-edge series.
+int RunThreadedExport(const char* path) {
+  const double k = 4.0;
+  Workload w = Workload::Synthetic(/*r_count=*/40000, /*s_count=*/40000,
+                                   32, 32, /*key_domain=*/20000,
+                                   /*zipf=*/0.0, /*seed=*/7);
+  TraceRing trace(4096);
+  MetricsRegistry registry;
+
+  ExchangeConfig xc;
+  xc.batch_size = 16;
+  xc.ring_slots = 4;
+  xc.trace = &trace;
+  ThreadEngine engine(xc);
+
+  OperatorConfig config;
+  config.spec = w.spec();
+  config.machines = 4;
+  config.adaptive = true;
+  config.keep_rows = false;
+  config.min_total_before_adapt = w.total_count() / 100;
+  config.registry = &registry;
+  config.trace = &trace;
+  JoinOperator op(engine, config);
+  engine.Start();
+
+  TelemetrySampler::Options opts;
+  opts.period_us = 2000;  // 2 ms: plenty of mid-stream samples on a short run
+  TelemetrySampler sampler(&registry, opts);
+  sampler.SetEdgeSource([&engine] { return engine.edge_stats(); });
+  sampler.SetExchangeSource([&engine] { return engine.exchange_stats(); });
+  sampler.SetTraceSource(&trace);
+  sampler.Start();
+
+  ArrivalPolicy policy;
+  policy.kind = ArrivalPolicy::Kind::kFluctuating;
+  policy.fluct_k = k;
+  auto source = w.MakeSource(policy);
+  op.SetIngressBatch(16);
+  StreamTuple tuple;
+  while (source->Next(&tuple)) op.Push(tuple);
+  op.SendEos();
+  engine.WaitQuiescent();
+  sampler.Stop();
+
+  std::printf("\nthreaded 4J export: %llu samples, %llu trace events\n",
+              static_cast<unsigned long long>(sampler.samples_taken()),
+              static_cast<unsigned long long>(trace.total_recorded()));
+  const std::vector<TelemetrySample> series = sampler.series();
+  if (!series.empty()) {
+    std::printf("  final: %s\n",
+                TelemetrySampler::SummaryLine(series.back()).c_str());
+  }
+  const bool ok = sampler.WriteJson(path, "fluctuating_streams_4j");
+  std::printf("  wrote %s: %s\n", path, ok ? "ok" : "FAILED");
+  engine.Shutdown();
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const double k = 4.0;
   Workload w = Workload::Synthetic(/*r_count=*/120000, /*s_count=*/120000,
                                    32, 32, /*key_domain=*/60000,
                                    /*zipf=*/0.0, /*seed=*/3);
   SimEngine engine;
+  MetricsRegistry registry;
   OperatorConfig config;
   config.spec = w.spec();
   config.machines = 32;
   config.adaptive = true;
   config.keep_rows = false;
   config.min_total_before_adapt = w.total_count() / 100;
+  config.registry = &registry;
   JoinOperator op(engine, config);
   engine.Start();
+
+  // Drain-interval sampling: the sim engine has no threads, so RunWorkload
+  // calls SampleNow at every snapshot point.
+  TelemetrySampler sampler(&registry);
 
   ArrivalPolicy policy;
   policy.kind = ArrivalPolicy::Kind::kFluctuating;
@@ -33,6 +116,7 @@ int main() {
   RunOptions opts;
   opts.arrival = policy;
   opts.snapshots = 20;
+  opts.sampler = &sampler;
   RunResult r = RunWorkload(engine, op, w, opts);
 
   std::printf("fluctuation factor k = %.0f, J = 32\n\n", k);
@@ -53,5 +137,16 @@ int main() {
   std::printf("\njoin results: %llu; max ILF/ILF* %.3f (Theorem 4.6 bound "
               "1.25)\n",
               static_cast<unsigned long long>(r.outputs), r.max_ilf_ratio);
+
+  // Telemetry summary: every 5th drain-interval sample plus the last.
+  const std::vector<TelemetrySample> series = sampler.series();
+  std::printf("\ntelemetry (drain-interval samples, %zu taken):\n",
+              series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i % 5 != 0 && i + 1 != series.size()) continue;
+    std::printf("  %s\n", TelemetrySampler::SummaryLine(series[i]).c_str());
+  }
+
+  if (argc > 1) return RunThreadedExport(argv[1]);
   return 0;
 }

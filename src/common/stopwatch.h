@@ -15,6 +15,15 @@ inline uint64_t SteadyNowMicros() {
           .count());
 }
 
+/// Monotonic wall-clock nanos — used where a microsecond tick is too coarse
+/// (e.g. stamping individual credit-stall episodes in the exchange plane).
+inline uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 class Stopwatch {
  public:
   Stopwatch() { Restart(); }

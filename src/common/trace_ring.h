@@ -1,0 +1,147 @@
+// TraceRing: a bounded, lock-free, multi-producer event trace for the
+// telemetry plane. Hot paths (epoch changes, migration begin/finalize,
+// credit-stall episodes) record fixed-size events with a single fetch_add
+// slot claim plus relaxed word stores; any thread can take a snapshot at any
+// time without pausing producers. The ring keeps the most recent `capacity`
+// events (older ones are overwritten in claim order).
+//
+// Consistency protocol (TSan-clean): every slot carries its own seqlock.
+// A writer bumps the slot seq to odd (relaxed store + release fence), writes
+// the payload words as relaxed atomic stores, then publishes with a release
+// store of seq+2. A reader accepts a slot only if it observes the same even
+// seq before (acquire) and after (acquire fence + relaxed load) reading the
+// payload. The one unguarded window is two producers lapping each other onto
+// the same slot — a full ring apart in claim order — which can splice two
+// events into one; acceptable for a diagnostic trace and impossible to hit
+// with a reasonably sized ring.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ajoin {
+
+/// What a trace event records. `a`/`b` are kind-specific payload words (see
+/// the recording sites: epoch for kEpochChange / kMigration*, stall
+/// nanoseconds + producer id for kCreditStall).
+enum class TraceEventKind : uint32_t {
+  kEpochChange = 0,        // reshuffler observed/forwarded an epoch change
+  kMigrationBegin = 1,     // joiner entered a migration (Alg. 3 line 1)
+  kMigrationFinalize = 2,  // joiner finalized (Alg. 3 line 29)
+  kCreditStall = 3,        // producer stalled for credits on a bounded edge
+};
+
+/// One recorded event, as returned by TraceRing::Snapshot.
+struct TraceEvent {
+  uint64_t index = 0;  // global claim order (monotonic across the run)
+  TraceEventKind kind = TraceEventKind::kEpochChange;
+  int32_t task = -1;   // engine task id the event concerns
+  uint64_t t_us = 0;   // engine clock at the recording site
+  uint64_t a = 0;      // kind-specific (epoch; stall ns)
+  uint64_t b = 0;      // kind-specific (group; stalled producer id)
+};
+
+/// Human-readable name of a trace event kind.
+inline const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kEpochChange: return "epoch_change";
+    case TraceEventKind::kMigrationBegin: return "migration_begin";
+    case TraceEventKind::kMigrationFinalize: return "migration_finalize";
+    case TraceEventKind::kCreditStall: return "credit_stall";
+  }
+  return "?";
+}
+
+class TraceRing {
+ public:
+  /// A ring keeping the most recent `capacity` events (rounded up to a
+  /// power of two, minimum 8).
+  explicit TraceRing(size_t capacity = 4096) {
+    size_t cap = 8;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Records one event. Lock-free, callable from any thread concurrently;
+  /// overwrites the oldest event when the ring is full.
+  void Record(TraceEventKind kind, int32_t task, uint64_t t_us,
+              uint64_t a = 0, uint64_t b = 0) {
+    const uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[idx & mask_];
+    const uint64_t s = slot.seq.load(std::memory_order_relaxed);
+    slot.seq.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    slot.index.store(idx, std::memory_order_relaxed);
+    slot.kind.store(static_cast<uint64_t>(kind), std::memory_order_relaxed);
+    slot.task.store(static_cast<uint64_t>(static_cast<int64_t>(task)),
+                    std::memory_order_relaxed);
+    slot.t_us.store(t_us, std::memory_order_relaxed);
+    slot.a.store(a, std::memory_order_relaxed);
+    slot.b.store(b, std::memory_order_relaxed);
+    slot.seq.store(s + 2, std::memory_order_release);
+  }
+
+  /// Copies every consistently readable event, oldest first (by claim
+  /// order). Non-destructive; callable from any thread while producers
+  /// keep recording (slots a writer is mid-update on are skipped).
+  std::vector<TraceEvent> Snapshot() const {
+    std::vector<TraceEvent> out;
+    const size_t cap = mask_ + 1;
+    out.reserve(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      const Slot& slot = slots_[i];
+      const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 == 0 || (s1 & 1) != 0) continue;  // never written / in flight
+      TraceEvent ev;
+      ev.index = slot.index.load(std::memory_order_relaxed);
+      ev.kind = static_cast<TraceEventKind>(
+          slot.kind.load(std::memory_order_relaxed));
+      ev.task = static_cast<int32_t>(
+          static_cast<int64_t>(slot.task.load(std::memory_order_relaxed)));
+      ev.t_us = slot.t_us.load(std::memory_order_relaxed);
+      ev.a = slot.a.load(std::memory_order_relaxed);
+      ev.b = slot.b.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+      out.push_back(ev);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& x, const TraceEvent& y) {
+                return x.index < y.index;
+              });
+    return out;
+  }
+
+  /// Total events ever recorded (including overwritten ones).
+  uint64_t total_recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity in events (power of two).
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // per-slot seqlock (even = stable)
+    std::atomic<uint64_t> index{0};
+    std::atomic<uint64_t> kind{0};
+    std::atomic<uint64_t> task{0};
+    std::atomic<uint64_t> t_us{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+  };
+
+  std::atomic<uint64_t> head_{0};  // next claim index
+  size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace ajoin

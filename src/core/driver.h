@@ -16,6 +16,8 @@
 
 namespace ajoin {
 
+class TelemetrySampler;  // src/runtime/metrics_registry.h
+
 struct RunOptions {
   CostModel cost;
   ArrivalPolicy arrival;
@@ -35,6 +37,11 @@ struct RunOptions {
   /// cadence), size-targeted batches of 64 otherwise (threaded runs, where
   /// the driver's per-tuple Post was the last per-envelope hot path).
   uint32_t ingress_batch = 0;
+  /// Live telemetry: when set, RunWorkload calls sampler->SampleNow at
+  /// every snapshot point (the sim engine's drain-interval sampling path;
+  /// threaded runs additionally Start() the sampler's own thread). Not
+  /// owned.
+  TelemetrySampler* sampler = nullptr;
 };
 
 struct ProgressPoint {

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/common/trace_ring.h"
+#include "src/runtime/metrics_registry.h"
 #include "src/tuple/serde.h"
 
 namespace ajoin {
@@ -37,6 +39,11 @@ void JoinerCore::OnMessage(Envelope msg, Context& ctx) {
   }
   // Ship any results this message produced before the Context goes away.
   if (!egress_.empty()) FlushEgress(ctx);
+  // Publish live telemetry once per dispatch: counters stay plain stores
+  // above; the cell write is the only synchronized step.
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->PublishJoiner(metrics_, epoch_, migrating_);
+  }
 }
 
 void JoinerCore::OnBatch(TupleBatch batch, Context& ctx) {
@@ -98,6 +105,11 @@ void JoinerCore::OnBatch(TupleBatch batch, Context& ctx) {
   // message instead; both orders are per-edge FIFO, which is all sinks and
   // downstream stages rely on).
   if (!egress_.empty()) FlushEgress(ctx);
+  // One telemetry publish per batch (the fallback paths above publish per
+  // envelope through OnMessage).
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->PublishJoiner(metrics_, epoch_, migrating_);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -368,6 +380,10 @@ void JoinerCore::StartMigration(const EpochSpec& spec, Context& ctx) {
   migrating_ = true;
   old_epoch_ = epoch_;
   new_epoch_ = spec.epoch;
+  if (config_.trace != nullptr) {
+    config_.trace->Record(TraceEventKind::kMigrationBegin, ctx.self(),
+                          ctx.NowMicros(), new_epoch_, config_.group);
+  }
   to_layout_ =
       spec.expansion ? layout_.Expand() : layout_.Relabel(spec.mapping);
   AJOIN_CHECK(to_layout_.mapping() == spec.mapping);
@@ -493,6 +509,10 @@ void JoinerCore::FinalizeMigration(Context& ctx) {
   plan_.reset();
   migend_pending_ = 0;
   metrics_.migrations_finalized++;
+  if (config_.trace != nullptr) {
+    config_.trace->Record(TraceEventKind::kMigrationFinalize, ctx.self(),
+                          ctx.NowMicros(), epoch_, config_.group);
+  }
   if (acks) {
     Envelope ack;
     ack.type = MsgType::kMigAck;

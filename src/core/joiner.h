@@ -29,6 +29,9 @@
 
 namespace ajoin {
 
+class TaskTelemetry;  // src/runtime/metrics_registry.h
+class TraceRing;      // src/common/trace_ring.h
+
 struct JoinerConfig {
   JoinSpec spec;
   uint32_t group = 0;
@@ -49,6 +52,13 @@ struct JoinerConfig {
   /// output_count only). Result edges must point at a *higher* task id so
   /// the exchange plane's credit-blocking order stays acyclic.
   int result_sink = -1;
+  /// Live telemetry cell (src/runtime/metrics_registry.h): when set, the
+  /// joiner publishes its metrics + epoch/migration state after every
+  /// dispatch. Not owned; must outlive the task.
+  TaskTelemetry* telemetry = nullptr;
+  /// Event trace: when set, migration begin/finalize are recorded. Not
+  /// owned; must outlive the task.
+  TraceRing* trace = nullptr;
 };
 
 class JoinerCore : public Task {

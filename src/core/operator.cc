@@ -4,6 +4,7 @@
 
 #include "src/common/random.h"
 #include "src/common/status.h"
+#include "src/runtime/metrics_registry.h"
 
 namespace ajoin {
 
@@ -104,6 +105,11 @@ JoinOperator::JoinOperator(Engine& engine, OperatorConfig config)
     rc.controller_groups = cinfos;
     rc.collect_stats = config_.collect_stats;
     rc.stats_options = config_.stats_options;
+    rc.trace = config_.trace;
+    if (config_.registry != nullptr) {
+      rc.telemetry = config_.registry->Register(
+          task_base_ + static_cast<int>(r), TaskKind::kReshuffler);
+    }
     int id = engine_.AddTask(std::make_unique<ReshufflerCore>(std::move(rc)));
     AJOIN_CHECK(id == task_base_ + static_cast<int>(r));
     reshuffler_ids_.push_back(id);
@@ -123,6 +129,11 @@ JoinOperator::JoinOperator(Engine& engine, OperatorConfig config)
       jc.keep_rows = config_.keep_rows;
       jc.latency_every = config_.latency_every;
       jc.use_flat_index = config_.use_flat_index;
+      jc.trace = config_.trace;
+      if (config_.registry != nullptr) {
+        jc.telemetry = config_.registry->Register(
+            block.joiner_task_base + static_cast<int>(p), TaskKind::kJoiner);
+      }
       int id = engine_.AddTask(std::make_unique<JoinerCore>(std::move(jc)));
       AJOIN_CHECK(id == block.joiner_task_base + static_cast<int>(p));
       joiner_ids_.push_back(id);
@@ -294,6 +305,11 @@ ShjOperator::ShjOperator(Engine& engine, OperatorConfig config)
     jc.keep_rows = config_.keep_rows;
     jc.latency_every = config_.latency_every;
     jc.use_flat_index = config_.use_flat_index;
+    jc.trace = config_.trace;
+    if (config_.registry != nullptr) {
+      jc.telemetry = config_.registry->Register(base + 1 + static_cast<int>(p),
+                                                TaskKind::kJoiner);
+    }
     int id = engine_.AddTask(std::make_unique<JoinerCore>(std::move(jc)));
     joiner_ids_.push_back(id);
   }

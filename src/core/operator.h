@@ -27,6 +27,9 @@
 
 namespace ajoin {
 
+class MetricsRegistry;  // src/runtime/metrics_registry.h
+class TraceRing;        // src/common/trace_ring.h
+
 struct OperatorConfig {
   JoinSpec spec;
   /// Total machines J. Non-powers-of-two are decomposed into binary groups
@@ -55,6 +58,15 @@ struct OperatorConfig {
   /// Equi-join index implementation for every joiner: flat tag-filtered
   /// (default) or the chained baseline (differential tests, bench axis).
   bool use_flat_index = true;
+  /// Live telemetry (src/runtime/metrics_registry.h): when set, every
+  /// reshuffler and joiner task registers a snapshot cell and publishes its
+  /// metrics after each dispatch, observable mid-stream from any thread.
+  /// Not owned; must outlive the operator's tasks.
+  MetricsRegistry* registry = nullptr;
+  /// Event trace for epoch changes and migration begin/finalize (the
+  /// exchange plane records credit stalls separately via
+  /// ExchangeConfig::trace). Not owned; must outlive the operator's tasks.
+  TraceRing* trace = nullptr;
 };
 
 /// Input-side staging shared by the operator facades: buffers input

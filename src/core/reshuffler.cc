@@ -1,6 +1,8 @@
 #include "src/core/reshuffler.h"
 
 #include "src/common/status.h"
+#include "src/common/trace_ring.h"
+#include "src/runtime/metrics_registry.h"
 
 namespace ajoin {
 
@@ -100,6 +102,10 @@ void ReshufflerCore::OnMessage(Envelope msg, Context& ctx) {
     default:
       AJOIN_CHECK_MSG(false, "reshuffler: unexpected message type");
   }
+  // Publish live telemetry once per dispatch (counters above stay plain).
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->PublishReshuffler(metrics_, results_restamped_);
+  }
 }
 
 void ReshufflerCore::OnBatch(TupleBatch batch, Context& ctx) {
@@ -124,6 +130,11 @@ void ReshufflerCore::OnBatch(TupleBatch batch, Context& ctx) {
     for (Envelope& msg : batch.items) RestampResult(msg);
   }
   HandleInputBatch(batch, ctx);
+  // One telemetry publish per batch (the fallback path above publishes per
+  // envelope through OnMessage).
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->PublishReshuffler(metrics_, results_restamped_);
+  }
 }
 
 void ReshufflerCore::RebuildRouteCache(GroupRoute& g) {
@@ -265,6 +276,10 @@ void ReshufflerCore::HandleEpochChange(Envelope& msg, Context& ctx) {
   g.epoch = spec.epoch;
   RebuildRouteCache(g);
   metrics_.epoch_changes++;
+  if (config_.trace != nullptr) {
+    config_.trace->Record(TraceEventKind::kEpochChange, ctx.self(),
+                          ctx.NowMicros(), spec.epoch, spec.group);
+  }
   // Signal every allocated machine of the group (including not-yet-active
   // expansion slots, which track the layout) before any new-epoch tuple.
   for (uint32_t p = 0; p < g.block.alloc_machines; ++p) {

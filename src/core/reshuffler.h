@@ -24,6 +24,9 @@
 
 namespace ajoin {
 
+class TaskTelemetry;  // src/runtime/metrics_registry.h
+class TraceRing;      // src/common/trace_ring.h
+
 /// Base of the restamped-result sequence band (see
 /// ReshufflerCore::AcceptResults): far above any driver-stamped sequence
 /// number, so a stage fed by both an upstream cascade and a direct driver
@@ -58,6 +61,13 @@ struct ReshufflerConfig {
   /// estimates).
   bool collect_stats = false;
   StreamStats::Options stats_options;
+  /// Live telemetry cell (src/runtime/metrics_registry.h): when set, the
+  /// reshuffler publishes its metrics after every dispatch. Not owned; must
+  /// outlive the task.
+  TaskTelemetry* telemetry = nullptr;
+  /// Event trace: when set, epoch changes are recorded. Not owned; must
+  /// outlive the task.
+  TraceRing* trace = nullptr;
 };
 
 class ReshufflerCore : public Task {

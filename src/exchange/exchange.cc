@@ -71,15 +71,32 @@ void ExchangePlane::Doorbell(int consumer) {
   }
 }
 
-void ExchangePlane::PushBatch(Edge& edge, TupleBatch& batch, int consumer) {
+namespace {
+/// Lifts `occ` into the edge's high-water occupancy gauge (CAS-max).
+inline void RaisePeak(std::atomic<uint32_t>& peak, uint32_t occ) {
+  uint32_t seen = peak.load(std::memory_order_relaxed);
+  while (occ > seen &&
+         !peak.compare_exchange_weak(seen, occ, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+void ExchangePlane::PushBatch(Edge& edge, TupleBatch& batch, int consumer,
+                              size_t producer) {
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
   stats_.envelopes.fetch_add(batch.size(), std::memory_order_relaxed);
+  edge.batches.fetch_add(1, std::memory_order_relaxed);
+  edge.envelopes.fetch_add(batch.size(), std::memory_order_relaxed);
   if (edge.bounded) {
     if (!edge.ring.TryPush(batch)) {
       // Out of credits: backpressure. Make sure the consumer is awake (our
       // earlier pushes may be what it is sleeping on), then wait for it to
-      // return credits by consuming.
+      // return credits by consuming. The whole episode — spin, park, retry —
+      // is stamped as credit-wait time so telemetry sees stall *duration*,
+      // not just the event count.
       stats_.credit_waits.fetch_add(1, std::memory_order_relaxed);
+      edge.credit_waits.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t t0_ns = SteadyNowNanos();
       Doorbell(consumer);
       int spins = 0;
       while (!edge.ring.TryPush(batch)) {
@@ -95,7 +112,16 @@ void ExchangePlane::PushBatch(Edge& edge, TupleBatch& batch, int consumer) {
         }
         edge.producer_waiting.store(false, std::memory_order_relaxed);
       }
+      const uint64_t stall_ns = SteadyNowNanos() - t0_ns;
+      stats_.credit_wait_ns.fetch_add(stall_ns, std::memory_order_relaxed);
+      edge.credit_wait_ns.fetch_add(stall_ns, std::memory_order_relaxed);
+      if (config_.trace != nullptr) {
+        config_.trace->Record(TraceEventKind::kCreditStall, consumer,
+                              NowMicros(), stall_ns, producer);
+      }
     }
+    RaisePeak(edge.peak_occupancy,
+              static_cast<uint32_t>(edge.ring.SlotsUsed()));
     Doorbell(consumer);
     return;
   }
@@ -104,10 +130,13 @@ void ExchangePlane::PushBatch(Edge& edge, TupleBatch& batch, int consumer) {
   // spill. Never blocks — see the deadlock-freedom argument in the header.
   if (edge.ov_count.load(std::memory_order_relaxed) == 0 &&
       edge.ring.TryPush(batch)) {
+    RaisePeak(edge.peak_occupancy,
+              static_cast<uint32_t>(edge.ring.SlotsUsed()));
     Doorbell(consumer);
     return;
   }
   stats_.overflow_batches.fetch_add(1, std::memory_order_relaxed);
+  edge.overflow_batches.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(edge.ov_mu);
     edge.overflow.push_back(std::move(batch));
@@ -212,6 +241,7 @@ ExchangeStatsSnapshot ExchangePlane::stats() const {
       stats_.deadline_flushes.load(std::memory_order_relaxed);
   snap.control_flushes = stats_.control_flushes.load(std::memory_order_relaxed);
   snap.credit_waits = stats_.credit_waits.load(std::memory_order_relaxed);
+  snap.credit_wait_ns = stats_.credit_wait_ns.load(std::memory_order_relaxed);
   snap.overflow_batches =
       stats_.overflow_batches.load(std::memory_order_relaxed);
   snap.avg_batch_fill =
@@ -220,6 +250,42 @@ ExchangeStatsSnapshot ExchangePlane::stats() const {
           : static_cast<double>(snap.envelopes) /
                 static_cast<double>(snap.batches);
   return snap;
+}
+
+std::vector<EdgeStatsSnapshot> ExchangePlane::edge_stats() const {
+  std::vector<EdgeStatsSnapshot> out;
+  for (size_t i = 0; i < edge_matrix_.size(); ++i) {
+    const Edge* edge = edge_matrix_[i].load(std::memory_order_acquire);
+    if (edge == nullptr) continue;
+    EdgeStatsSnapshot s;
+    s.producer = static_cast<int>(i / num_tasks_);
+    s.consumer = static_cast<int>(i % num_tasks_);
+    s.bounded = edge->bounded;
+    s.batches = edge->batches.load(std::memory_order_relaxed);
+    s.envelopes = edge->envelopes.load(std::memory_order_relaxed);
+    s.credit_waits = edge->credit_waits.load(std::memory_order_relaxed);
+    s.credit_wait_ns = edge->credit_wait_ns.load(std::memory_order_relaxed);
+    s.overflow_batches = edge->overflow_batches.load(std::memory_order_relaxed);
+    s.ring_occupancy = static_cast<uint32_t>(edge->ring.SlotsUsed());
+    s.ring_peak = edge->peak_occupancy.load(std::memory_order_relaxed);
+    s.ring_capacity = static_cast<uint32_t>(edge->ring.capacity());
+    s.overflow_depth = edge->ov_count.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
+}
+
+ProducerStallStats ExchangePlane::producer_stalls(size_t producer) const {
+  ProducerStallStats roll;
+  if (producer >= num_producers()) return roll;
+  for (size_t c = 0; c < num_tasks_; ++c) {
+    const Edge* edge =
+        edge_matrix_[producer * num_tasks_ + c].load(std::memory_order_acquire);
+    if (edge == nullptr) continue;
+    roll.credit_waits += edge->credit_waits.load(std::memory_order_relaxed);
+    roll.credit_wait_ns += edge->credit_wait_ns.load(std::memory_order_relaxed);
+  }
+  return roll;
 }
 
 // ------------------------------------------------------------------ Outbox --
@@ -235,7 +301,7 @@ void ExchangePlane::Outbox::Send(int to, Envelope&& msg, uint64_t now_hint_us) {
       FlushEdge(pe, to);
     }
     TupleBatch single(std::move(msg));
-    plane_->PushBatch(*pe.edge, single, to);
+    plane_->PushBatch(*pe.edge, single, to, producer_);
     return;
   }
   if (pe.pending.empty()) ArmPending(pe, now_hint_us);
@@ -277,12 +343,12 @@ void ExchangePlane::Outbox::SendRun(int to, TupleBatch&& run,
   if (left * 2 >= batch_size) {
     plane_->stats_.size_flushes.fetch_add(1, std::memory_order_relaxed);
     if (i == 0) {
-      plane_->PushBatch(*pe.edge, run, to);
+      plane_->PushBatch(*pe.edge, run, to, producer_);
     } else {
       TupleBatch rest;
       rest.items.reserve(left);
       for (; i < n; ++i) rest.items.push_back(std::move(run.items[i]));
-      plane_->PushBatch(*pe.edge, rest, to);
+      plane_->PushBatch(*pe.edge, rest, to, producer_);
     }
     run.Clear();
     return;
@@ -304,7 +370,7 @@ void ExchangePlane::Outbox::ArmPending(PerEdge& pe, uint64_t now_hint_us) {
 }
 
 void ExchangePlane::Outbox::FlushEdge(PerEdge& pe, int consumer) {
-  plane_->PushBatch(*pe.edge, pe.pending, consumer);
+  plane_->PushBatch(*pe.edge, pe.pending, consumer, producer_);
   pe.pending.Clear();
 }
 

@@ -38,6 +38,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/common/trace_ring.h"
 #include "src/exchange/batch_ring.h"
 #include "src/net/message.h"
 
@@ -63,6 +64,10 @@ struct ExchangeConfig {
   /// a full per-consumer edge row (rings created lazily on first send), so
   /// the cost of a generous bound is pointers.
   uint32_t max_ingress_ports = 8;
+  /// Optional event trace: when set, the plane records a kCreditStall event
+  /// (stall nanoseconds + producer id) for every credit-wait episode. Not
+  /// owned; must outlive the plane.
+  TraceRing* trace = nullptr;
 };
 
 /// Point-in-time counters (aggregated across all edges).
@@ -73,8 +78,33 @@ struct ExchangeStatsSnapshot {
   uint64_t deadline_flushes = 0;
   uint64_t control_flushes = 0;  // data batches cut by a control message
   uint64_t credit_waits = 0;     // bounded pushes that found the ring full
+  uint64_t credit_wait_ns = 0;   // cumulative time producers spent stalled
   uint64_t overflow_batches = 0; // batches routed via an overflow lane
   double avg_batch_fill = 0;     // envelopes / batches
+};
+
+/// Point-in-time counters for one producer→consumer edge. Counters are
+/// cumulative; ring_occupancy / overflow_depth are instantaneous gauges
+/// (racy estimates — the edge keeps moving while they are read).
+struct EdgeStatsSnapshot {
+  int producer = -1;
+  int consumer = -1;
+  bool bounded = false;
+  uint64_t batches = 0;
+  uint64_t envelopes = 0;
+  uint64_t credit_waits = 0;    // bounded pushes that found the ring full
+  uint64_t credit_wait_ns = 0;  // cumulative producer stall time on this edge
+  uint64_t overflow_batches = 0;
+  uint32_t ring_occupancy = 0;  // batches in the ring right now
+  uint32_t ring_peak = 0;       // high-water ring occupancy
+  uint32_t ring_capacity = 0;
+  size_t overflow_depth = 0;    // batches in the overflow lane right now
+};
+
+/// Credit-stall counters rolled up across one producer's outgoing edges.
+struct ProducerStallStats {
+  uint64_t credit_waits = 0;
+  uint64_t credit_wait_ns = 0;
 };
 
 class ExchangePlane {
@@ -134,6 +164,15 @@ class ExchangePlane {
     /// the clock read FlushExpired would need.
     bool has_pending() const { return next_deadline_check_us_ != 0; }
 
+    /// Envelopes currently buffered (unflushed) across all edges — the
+    /// ingress backlog gauge. Needs the same producer serialization as
+    /// every other Outbox call (the port lock, for ingress ports).
+    uint64_t PendingEnvelopes() const {
+      uint64_t n = 0;
+      for (const PerEdge& pe : edges_) n += pe.pending.size();
+      return n;
+    }
+
    private:
     friend class ExchangePlane;
     struct PerEdge {
@@ -176,6 +215,15 @@ class ExchangePlane {
 
   ExchangeStatsSnapshot stats() const;
 
+  /// Per-edge counters and occupancy gauges for every materialized edge,
+  /// ordered by (producer, consumer). Callable from any thread while the
+  /// plane runs; gauges are racy estimates, counters are exact-to-date.
+  std::vector<EdgeStatsSnapshot> edge_stats() const;
+
+  /// Rolls up credit-stall counters across one producer's outgoing edges —
+  /// the backpressure a single task (or ingress port) is experiencing.
+  ProducerStallStats producer_stalls(size_t producer) const;
+
  private:
   friend class Outbox;
 
@@ -196,6 +244,15 @@ class ExchangePlane {
     std::atomic<bool> producer_waiting{false};
     std::mutex credit_mu;
     std::condition_variable credit_cv;
+
+    // Per-edge telemetry. Bumped only by this edge's producer (relaxed
+    // RMWs on an owned line); read by any thread via edge_stats().
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> envelopes{0};
+    std::atomic<uint64_t> credit_waits{0};
+    std::atomic<uint64_t> credit_wait_ns{0};
+    std::atomic<uint64_t> overflow_batches{0};
+    std::atomic<uint32_t> peak_occupancy{0};
   };
 
   struct Inbox {
@@ -214,11 +271,13 @@ class ExchangePlane {
     std::atomic<uint64_t> deadline_flushes{0};
     std::atomic<uint64_t> control_flushes{0};
     std::atomic<uint64_t> credit_waits{0};
+    std::atomic<uint64_t> credit_wait_ns{0};
     std::atomic<uint64_t> overflow_batches{0};
   };
 
   Edge* GetEdge(size_t producer, int consumer);
-  void PushBatch(Edge& edge, TupleBatch& batch, int consumer);
+  void PushBatch(Edge& edge, TupleBatch& batch, int consumer,
+                 size_t producer);
   void Doorbell(int consumer);
   static uint64_t NowMicros();
 

@@ -28,7 +28,10 @@ std::vector<std::pair<uint64_t, uint64_t>> ResultSink::SortedPairs() const {
 
 int Dataflow::AddJoin(const OperatorConfig& config) {
   Stage stage;
-  stage.op = std::make_unique<JoinOperator>(engine_, config);
+  OperatorConfig cfg = config;
+  if (cfg.registry == nullptr) cfg.registry = registry_;
+  if (cfg.trace == nullptr) cfg.trace = trace_;
+  stage.op = std::make_unique<JoinOperator>(engine_, cfg);
   stages_.push_back(std::move(stage));
   return static_cast<int>(stages_.size()) - 1;
 }

@@ -89,6 +89,16 @@ class Dataflow {
   /// Builds an empty dataflow on `engine` (which must not have started).
   explicit Dataflow(Engine& engine) : engine_(engine) {}
 
+  /// Telemetry for the whole dataflow: every join stage added *after* this
+  /// call registers its tasks with `registry` and traces protocol events
+  /// into `trace` (either may be null; a config that already carries its
+  /// own pointers wins). Call before AddJoin; both must outlive the
+  /// engine's run.
+  void SetTelemetry(MetricsRegistry* registry, TraceRing* trace) {
+    registry_ = registry;
+    trace_ = trace;
+  }
+
   /// Adds an adaptive join stage (a full JoinOperator assembly on the
   /// engine); returns its stage handle.
   int AddJoin(const OperatorConfig& config);
@@ -142,6 +152,8 @@ class Dataflow {
   };
 
   Engine& engine_;
+  MetricsRegistry* registry_ = nullptr;  // stamped into AddJoin configs
+  TraceRing* trace_ = nullptr;
   std::vector<Stage> stages_;
 };
 

@@ -1,9 +1,13 @@
 // Per-task counters collected by the operator cores. Engines stay
-// accounting-free; drivers harvest these after (or between) quiescent points
-// and feed them to the simulator's cost model or print them directly.
+// accounting-free; the owning task bumps these with plain stores. Drivers
+// can harvest them at quiescent points, and when a task is wired to a
+// TaskTelemetry cell (src/runtime/metrics_registry.h) consistent snapshots
+// are also available mid-stream from any thread.
 
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 
 #include "src/common/histogram.h"
@@ -37,9 +41,13 @@ struct JoinerMetrics {
     stored_bytes += bytes;
     if (stored_bytes > peak_stored_bytes) peak_stored_bytes = stored_bytes;
   }
+  // A drop can never exceed what is stored; clamp rather than wrap so a
+  // bookkeeping slip degrades to a zeroed gauge instead of a ~2^64 one.
   void NoteDropped(uint64_t count, uint64_t bytes) {
-    stored_tuples -= count;
-    stored_bytes -= bytes;
+    assert(count <= stored_tuples && "NoteDropped underflow (tuples)");
+    assert(bytes <= stored_bytes && "NoteDropped underflow (bytes)");
+    stored_tuples -= std::min(count, stored_tuples);
+    stored_bytes -= std::min(bytes, stored_bytes);
     discarded_tuples += count;
   }
 };

@@ -1,0 +1,355 @@
+// The live telemetry plane (paper §4: the controller only works because it
+// can *observe* the operator). Three pieces:
+//
+//  * SeqlockCell / TaskTelemetry — a per-task snapshot cell. The owning task
+//    keeps bumping its plain JoinerMetrics/ReshufflerMetrics counters as
+//    before (no atomics on the hot path) and periodically *publishes* them
+//    into the cell; any thread can then read a consistent, torn-read-free
+//    copy mid-stream. No lock anywhere, no quiescent drain.
+//  * MetricsRegistry — the directory of every task's cell. Operators
+//    register their tasks at construction; snapshotting walks the directory
+//    and reads each cell.
+//  * TelemetrySampler — samples the registry (plus optional exchange-plane
+//    edge stats and a trace ring) at a fixed period into a ring-buffered
+//    time series, on its own thread under the threaded engine or via
+//    explicit SampleNow calls from the sim driver's drain intervals.
+//    Exports one-line human summaries and stable-schema JSON
+//    (schema_version 1, validated by tools/validate_telemetry.py).
+//
+// Seqlock protocol (TSan-clean): the payload is an array of atomic words so
+// the sanitizer sees every access; the relaxed/fence dance below gives the
+// same guarantees as the classic seqlock. Writer: seq -> odd (relaxed) ·
+// release fence · relaxed payload stores · seq -> even (release). Reader:
+// seq (acquire), retry if odd · relaxed payload loads · acquire fence ·
+// seq (relaxed), retry if changed.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/trace_ring.h"
+#include "src/exchange/exchange.h"
+#include "src/runtime/metrics.h"
+
+namespace ajoin {
+
+/// A single-writer, many-reader snapshot cell of N uint64 words.
+template <size_t N>
+class SeqlockCell {
+ public:
+  /// Publishes a new payload. Single writer (the owning task's thread);
+  /// wait-free, two seq stores plus N relaxed word stores.
+  void Publish(const uint64_t (&words)[N]) {
+    const uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    for (size_t i = 0; i < N; ++i) {
+      words_[i].store(words[i], std::memory_order_relaxed);
+    }
+    seq_.store(s + 2, std::memory_order_release);
+  }
+
+  /// Reads a consistent payload, retrying while the writer is mid-publish.
+  /// Callable from any thread; lock-free (bounded only by writer progress).
+  void Read(uint64_t (&out)[N]) const {
+    for (;;) {
+      const uint64_t s1 = seq_.load(std::memory_order_acquire);
+      if ((s1 & 1) != 0) continue;  // writer in flight
+      for (size_t i = 0; i < N; ++i) {
+        out[i] = words_[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == s1) return;
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> words_[N] = {};
+};
+
+/// What kind of task a registry entry describes.
+enum class TaskKind { kJoiner, kReshuffler };
+
+/// Human-readable name of a task kind ("joiner" / "reshuffler").
+inline const char* TaskKindName(TaskKind kind) {
+  return kind == TaskKind::kJoiner ? "joiner" : "reshuffler";
+}
+
+/// Consistent copy of one joiner's counters plus its protocol state.
+struct JoinerSnapshot {
+  uint64_t in_tuples = 0;
+  uint64_t in_bytes = 0;
+  uint64_t probe_candidates = 0;
+  uint64_t output_tuples = 0;
+  uint64_t mig_out_tuples = 0;
+  uint64_t mig_out_bytes = 0;
+  uint64_t mig_in_tuples = 0;
+  uint64_t mig_in_bytes = 0;
+  uint64_t discarded_tuples = 0;
+  uint64_t migrations_finalized = 0;
+  uint64_t stored_tuples = 0;
+  uint64_t stored_bytes = 0;
+  uint64_t peak_stored_bytes = 0;
+  uint64_t latency_count = 0;    // emitted-result latency samples
+  double latency_sum_us = 0;     // sum of those samples (mean = sum/count)
+  uint32_t epoch = 0;            // partitioning epoch the joiner is in
+  bool migrating = false;        // mid-migration right now?
+};
+
+/// Consistent copy of one reshuffler's counters.
+struct ReshufflerSnapshot {
+  uint64_t routed_tuples = 0;
+  uint64_t sent_msgs = 0;
+  uint64_t sent_bytes = 0;
+  uint64_t epoch_changes = 0;
+  uint64_t results_restamped = 0;
+};
+
+/// One task's entry in a registry snapshot. Exactly one of joiner /
+/// reshuffler is meaningful, selected by `kind`.
+struct TaskSnapshot {
+  int task = -1;
+  TaskKind kind = TaskKind::kJoiner;
+  JoinerSnapshot joiner;
+  ReshufflerSnapshot reshuffler;
+};
+
+/// Per-task snapshot cell. The owning task publishes after processing a
+/// message/batch; any thread reads via the registry.
+class TaskTelemetry {
+ public:
+  /// Payload width in words (shared by both task kinds; the wider joiner
+  /// layout sets the size).
+  static constexpr size_t kWords = 17;
+
+  /// Publishes a joiner's counters plus epoch / migration state. Call from
+  /// the owning task's thread only.
+  void PublishJoiner(const JoinerMetrics& m, uint32_t epoch, bool migrating) {
+    uint64_t w[kWords];
+    w[0] = m.in_tuples;
+    w[1] = m.in_bytes;
+    w[2] = m.probe_candidates;
+    w[3] = m.output_tuples;
+    w[4] = m.mig_out_tuples;
+    w[5] = m.mig_out_bytes;
+    w[6] = m.mig_in_tuples;
+    w[7] = m.mig_in_bytes;
+    w[8] = m.discarded_tuples;
+    w[9] = m.migrations_finalized;
+    w[10] = m.stored_tuples;
+    w[11] = m.stored_bytes;
+    w[12] = m.peak_stored_bytes;
+    w[13] = m.latency_us.count();
+    const double sum = m.latency_us.sum();
+    std::memcpy(&w[14], &sum, sizeof(sum));
+    w[15] = epoch;
+    w[16] = migrating ? 1 : 0;
+    cell_.Publish(w);
+  }
+
+  /// Publishes a reshuffler's counters. Call from the owning task's thread
+  /// only.
+  void PublishReshuffler(const ReshufflerMetrics& m,
+                         uint64_t results_restamped) {
+    uint64_t w[kWords] = {};
+    w[0] = m.routed_tuples;
+    w[1] = m.sent_msgs;
+    w[2] = m.sent_bytes;
+    w[3] = m.epoch_changes;
+    w[4] = results_restamped;
+    cell_.Publish(w);
+  }
+
+  /// Decodes the cell as a joiner snapshot (meaningful only for kJoiner
+  /// entries). Callable from any thread.
+  JoinerSnapshot ReadJoiner() const {
+    uint64_t w[kWords];
+    cell_.Read(w);
+    JoinerSnapshot s;
+    s.in_tuples = w[0];
+    s.in_bytes = w[1];
+    s.probe_candidates = w[2];
+    s.output_tuples = w[3];
+    s.mig_out_tuples = w[4];
+    s.mig_out_bytes = w[5];
+    s.mig_in_tuples = w[6];
+    s.mig_in_bytes = w[7];
+    s.discarded_tuples = w[8];
+    s.migrations_finalized = w[9];
+    s.stored_tuples = w[10];
+    s.stored_bytes = w[11];
+    s.peak_stored_bytes = w[12];
+    s.latency_count = w[13];
+    std::memcpy(&s.latency_sum_us, &w[14], sizeof(s.latency_sum_us));
+    s.epoch = static_cast<uint32_t>(w[15]);
+    s.migrating = w[16] != 0;
+    return s;
+  }
+
+  /// Decodes the cell as a reshuffler snapshot (meaningful only for
+  /// kReshuffler entries). Callable from any thread.
+  ReshufflerSnapshot ReadReshuffler() const {
+    uint64_t w[kWords];
+    cell_.Read(w);
+    ReshufflerSnapshot s;
+    s.routed_tuples = w[0];
+    s.sent_msgs = w[1];
+    s.sent_bytes = w[2];
+    s.epoch_changes = w[3];
+    s.results_restamped = w[4];
+    return s;
+  }
+
+ private:
+  SeqlockCell<kWords> cell_;
+};
+
+/// Directory of every task's telemetry cell. Operators register their tasks
+/// while being built; Snapshot() walks the directory from any thread.
+class MetricsRegistry {
+ public:
+  /// Registers a task and returns its cell (stable address for the
+  /// registry's lifetime; the task keeps the pointer and publishes into it).
+  /// Thread-safe; typically called from operator constructors.
+  TaskTelemetry* Register(int task_id, TaskKind kind) {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.emplace_back(task_id, kind);
+    return &slots_.back().cell;
+  }
+
+  /// Reads every registered task's cell into a consistent-per-task snapshot
+  /// (cells are read independently; cross-task skew is one publish period).
+  /// Callable from any thread while tasks keep publishing.
+  std::vector<TaskSnapshot> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TaskSnapshot> out;
+    out.reserve(slots_.size());
+    for (const Slot& slot : slots_) {
+      TaskSnapshot snap;
+      snap.task = slot.task;
+      snap.kind = slot.kind;
+      if (slot.kind == TaskKind::kJoiner) {
+        snap.joiner = slot.cell.ReadJoiner();
+      } else {
+        snap.reshuffler = slot.cell.ReadReshuffler();
+      }
+      out.push_back(snap);
+    }
+    return out;
+  }
+
+  /// Number of registered tasks.
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_.size();
+  }
+
+ private:
+  struct Slot {
+    Slot(int task_in, TaskKind kind_in) : task(task_in), kind(kind_in) {}
+    int task;
+    TaskKind kind;
+    TaskTelemetry cell;  // atomics: slots are neither copied nor moved
+  };
+
+  mutable std::mutex mu_;         // guards the deque structure, not the cells
+  std::deque<Slot> slots_;        // deque: stable cell addresses on growth
+};
+
+/// One sampler observation: registry snapshot + optional exchange rollups.
+struct TelemetrySample {
+  uint64_t t_us = 0;
+  std::vector<TaskSnapshot> tasks;
+  std::vector<EdgeStatsSnapshot> edges;  // empty when no edge source is set
+  ExchangeStatsSnapshot exchange;        // zeroed without an exchange source
+};
+
+/// Periodic sampler with ring-buffered time series and structured export.
+class TelemetrySampler {
+ public:
+  struct Options {
+    /// Sampling period for the Start()ed background thread.
+    uint64_t period_us = 10000;
+    /// Ring-buffer capacity in samples; older samples are dropped.
+    size_t capacity = 1024;
+  };
+
+  /// The sampler observes `registry` (not owned; must outlive the sampler).
+  TelemetrySampler(const MetricsRegistry* registry, Options options);
+  /// Default options (10 ms period, 1024-sample ring).
+  explicit TelemetrySampler(const MetricsRegistry* registry);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Adds per-edge exchange stats to every sample (e.g. bind
+  /// ThreadEngine::edge_stats). Set before sampling starts.
+  void SetEdgeSource(std::function<std::vector<EdgeStatsSnapshot>()> source);
+
+  /// Adds plane-wide exchange stats to every sample (e.g. bind
+  /// ThreadEngine::exchange_stats). Set before sampling starts.
+  void SetExchangeSource(std::function<ExchangeStatsSnapshot()> source);
+
+  /// Attaches a trace ring whose events WriteJson dumps alongside the time
+  /// series. Set before sampling starts; not owned.
+  void SetTraceSource(const TraceRing* trace);
+
+  /// Takes one sample stamped `t_us`, appends it to the series, and returns
+  /// it. This is the sim-engine path (the driver calls it at drain
+  /// intervals with logical time) and also what the background thread runs.
+  TelemetrySample SampleNow(uint64_t t_us);
+
+  /// Starts the background sampling thread (threaded engine). No-op if
+  /// already running.
+  void Start();
+
+  /// Stops the background thread after one final sample, so the series
+  /// always ends with a fresh observation. No-op if not running.
+  void Stop();
+
+  /// Copy of the ring-buffered series, oldest first.
+  std::vector<TelemetrySample> series() const;
+
+  /// Total samples ever taken (including ones the ring has dropped).
+  uint64_t samples_taken() const;
+
+  /// One-line human summary of a sample (tasks rolled up, stall totals).
+  static std::string SummaryLine(const TelemetrySample& sample);
+
+  /// Writes the series (and trace events, if a trace source is attached) as
+  /// stable-schema JSON: {"telemetry": name, "schema_version": 1, "meta":
+  /// {...}, "samples": [...], "trace": [...]}. Returns false on I/O error.
+  bool WriteJson(const std::string& path, const std::string& name) const;
+
+ private:
+  void Loop();
+
+  const MetricsRegistry* registry_;
+  const Options options_;
+  std::function<std::vector<EdgeStatsSnapshot>()> edge_source_;
+  std::function<ExchangeStatsSnapshot()> exchange_source_;
+  const TraceRing* trace_ = nullptr;
+
+  mutable std::mutex mu_;              // guards series_ and taken_
+  std::deque<TelemetrySample> series_;
+  uint64_t taken_ = 0;
+
+  std::thread thread_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  bool running_ = false;
+};
+
+}  // namespace ajoin

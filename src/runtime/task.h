@@ -88,6 +88,17 @@ class Task {
   }
 };
 
+/// Point-in-time ingress telemetry (see IngressPort::stats). Counters are
+/// cumulative; backlog is an instantaneous gauge.
+struct IngressPortStats {
+  uint64_t posted_envelopes = 0;  // envelopes accepted via Post/PostBatch
+  uint64_t posted_batches = 0;    // PostBatch calls accepted
+  uint64_t rejected_posts = 0;    // Post/PostBatch rejected after shutdown
+  uint64_t backlog = 0;           // envelopes buffered, not yet shipped
+  uint64_t credit_waits = 0;      // backpressure stalls on this port's edges
+  uint64_t credit_wait_ns = 0;    // cumulative time stalled for credits
+};
+
 /// A per-producer ingress lane into the engine, obtained from
 /// Engine::OpenIngress. Each port owns its own batching and credit state —
 /// on the threaded engine a dedicated producer slot in the exchange plane
@@ -136,6 +147,12 @@ class IngressPort {
   /// WaitQuiescent sweep) can ship them — call Flush() when this producer
   /// goes idle so quiescence is not held up on a stalled source.
   virtual void Flush() = 0;
+
+  /// Ingress telemetry: post/backlog counters plus the backpressure this
+  /// port has experienced (credit stalls on its outgoing edges). Callable
+  /// from any thread while the producer keeps posting; gauges are racy
+  /// estimates. The default returns zeros for engines without telemetry.
+  virtual IngressPortStats stats() const { return IngressPortStats{}; }
 };
 
 /// Minimal engine interface shared by SimEngine and ThreadEngine.

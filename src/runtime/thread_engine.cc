@@ -92,6 +92,25 @@ class ThreadEngine::PortImpl : public IngressPort {
   }
   void Flush() override { engine_->PortFlush(*this); }
 
+  // Post/backlog counters plus the credit-stall rollup of this port's
+  // producer slot (see IngressPort::stats in task.h).
+  IngressPortStats stats() const override {
+    IngressPortStats s;
+    s.posted_envelopes = posted_envelopes_.load(std::memory_order_relaxed);
+    s.posted_batches = posted_batches_.load(std::memory_order_relaxed);
+    s.rejected_posts = rejected_posts_.load(std::memory_order_relaxed);
+    if (outbox_ != nullptr && engine_->plane_ != nullptr) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        s.backlog = outbox_->PendingEnvelopes();
+      }
+      const ProducerStallStats stalls = engine_->plane_->producer_stalls(slot_);
+      s.credit_waits = stalls.credit_waits;
+      s.credit_wait_ns = stalls.credit_wait_ns;
+    }
+    return s;
+  }
+
  private:
   friend class ThreadEngine;
 
@@ -99,8 +118,12 @@ class ThreadEngine::PortImpl : public IngressPort {
   const int to_;
   ExchangePlane::Outbox* outbox_;  // null on the legacy plane
   const size_t slot_;   // producer slot, returned to the free list on close
-  std::mutex mu_;       // this port's producer vs the WaitQuiescent sweep
+  mutable std::mutex mu_;  // this port's producer vs sweeps and stats()
   uint64_t posts_ = 0;  // amortized deadline-sweep counter (guarded by mu_)
+  // Telemetry counters (atomic: stats() reads them from any thread).
+  std::atomic<uint64_t> posted_envelopes_{0};
+  std::atomic<uint64_t> posted_batches_{0};
+  std::atomic<uint64_t> rejected_posts_{0};
 };
 
 ThreadEngine::ThreadEngine() : ThreadEngine(ExchangeConfig{}) {}
@@ -181,8 +204,19 @@ bool ThreadEngine::PortPost(PortImpl& port, int to, Envelope msg) {
   AJOIN_CHECK_MSG(started_, "Post before Start");
   AJOIN_CHECK_MSG(to >= 0 && to < static_cast<int>(tasks_.size()),
                   "Post to unknown task");
-  if (shut_down_.load(std::memory_order_acquire)) return false;
-  if (port.outbox_ == nullptr) return LegacyPost(to, std::move(msg));
+  if (shut_down_.load(std::memory_order_acquire)) {
+    port.rejected_posts_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (port.outbox_ == nullptr) {
+    if (!LegacyPost(to, std::move(msg))) {
+      port.rejected_posts_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    port.posted_envelopes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  port.posted_envelopes_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(port.mu_);
   // Per-edge credit backpressure: Send blocks (inside the plane) only when
   // this port's edge to `to` is out of credits.
@@ -203,15 +237,26 @@ bool ThreadEngine::PortPostBatch(PortImpl& port, int to, TupleBatch&& batch) {
   AJOIN_CHECK_MSG(to >= 0 && to < static_cast<int>(tasks_.size()),
                   "PostBatch to unknown task");
   if (batch.empty()) return true;
-  if (shut_down_.load(std::memory_order_acquire)) return false;
+  if (shut_down_.load(std::memory_order_acquire)) {
+    port.rejected_posts_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const uint64_t n_envelopes = batch.size();
   if (port.outbox_ == nullptr) {
     // Legacy plane: per-envelope pushes, preserving order on the channel.
     for (Envelope& msg : batch.items) {
-      if (!LegacyPost(to, std::move(msg))) return false;
+      if (!LegacyPost(to, std::move(msg))) {
+        port.rejected_posts_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
     }
     batch.Clear();
+    port.posted_envelopes_.fetch_add(n_envelopes, std::memory_order_relaxed);
+    port.posted_batches_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
+  port.posted_envelopes_.fetch_add(n_envelopes, std::memory_order_relaxed);
+  port.posted_batches_.fetch_add(1, std::memory_order_relaxed);
   bool pure_data = true;
   for (const Envelope& msg : batch.items) {
     if (IsControlMsg(msg.type)) {
@@ -395,6 +440,11 @@ void ThreadEngine::Shutdown() {
 ExchangeStatsSnapshot ThreadEngine::exchange_stats() const {
   if (plane_ == nullptr) return ExchangeStatsSnapshot{};
   return plane_->stats();
+}
+
+std::vector<EdgeStatsSnapshot> ThreadEngine::edge_stats() const {
+  if (plane_ == nullptr) return {};
+  return plane_->edge_stats();
 }
 
 }  // namespace ajoin

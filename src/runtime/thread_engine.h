@@ -80,6 +80,10 @@ class ThreadEngine : public Engine {
   ExchangeMode mode() const { return mode_; }
   /// Exchange-plane counters (all zero in legacy mode).
   ExchangeStatsSnapshot exchange_stats() const;
+  /// Per-edge exchange counters and occupancy gauges (empty in legacy mode
+  /// or before Start). Callable from any thread — the TelemetrySampler's
+  /// edge source.
+  std::vector<EdgeStatsSnapshot> edge_stats() const;
 
  private:
   class BatchedContext;

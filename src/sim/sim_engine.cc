@@ -34,15 +34,22 @@ class SimEngine::SimPort : public IngressPort {
   using IngressPort::PostBatch;
 
   bool Post(int to, Envelope msg) override {
-    if (engine_->shut_down_) return false;
+    if (engine_->shut_down_) {
+      rejected_++;
+      return false;
+    }
     AJOIN_CHECK_MSG(to >= 0 && to < static_cast<int>(engine_->tasks_.size()),
                     "Post to unknown task");
     engine_->queue_.emplace_back(to, std::move(msg));
+    posted_++;
     return true;
   }
 
   bool PostBatch(int to, TupleBatch&& batch) override {
-    if (engine_->shut_down_) return false;
+    if (engine_->shut_down_) {
+      rejected_++;
+      return false;
+    }
     // One enqueue per envelope, in order: exactly what a per-tuple driver
     // would have produced, so simulator runs stay deterministic and
     // per-tuple drain cadences observe every envelope.
@@ -50,14 +57,29 @@ class SimEngine::SimPort : public IngressPort {
       if (!Post(to, std::move(msg))) return false;
     }
     batch.Clear();
+    batches_++;
     return true;
   }
 
   void Flush() override {}
 
+  // Plain counters: the simulator is single-threaded, so no atomics needed.
+  // Backlog and credit stalls are structurally zero (the port never
+  // buffers and the queue is unbounded).
+  IngressPortStats stats() const override {
+    IngressPortStats s;
+    s.posted_envelopes = posted_;
+    s.posted_batches = batches_;
+    s.rejected_posts = rejected_;
+    return s;
+  }
+
  private:
   SimEngine* engine_;
   const int to_;
+  uint64_t posted_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t rejected_ = 0;
 };
 
 std::unique_ptr<IngressPort> SimEngine::OpenIngress(int to) {

@@ -7,6 +7,7 @@
 
 #include "src/common/random.h"
 #include "src/core/stats.h"
+#include "src/runtime/metrics.h"
 
 namespace ajoin {
 namespace {
@@ -91,6 +92,44 @@ TEST(StreamStats, ScaledEstimates) {
   EXPECT_EQ(stats.sketch(Rel::kS).total(), 300u);
   EXPECT_EQ(stats.histogram(Rel::kR), nullptr);  // disabled by default
 }
+
+TEST(MetricsJoiner, NoteDroppedClampsAtZero) {
+  JoinerMetrics m;
+  m.stored_tuples = 5;
+  m.stored_bytes = 100;
+  m.NoteDropped(3, 60);
+  EXPECT_EQ(m.stored_tuples, 2u);
+  EXPECT_EQ(m.stored_bytes, 40u);
+  EXPECT_EQ(m.discarded_tuples, 3u);
+#ifdef NDEBUG
+  // Release builds: an over-drop clamps to zero instead of wrapping to
+  // ~2^64 (the bug this guards against); the discard count still records
+  // the full request. Debug builds assert instead — see the death test.
+  m.NoteDropped(10, 1000);
+  EXPECT_EQ(m.stored_tuples, 0u);
+  EXPECT_EQ(m.stored_bytes, 0u);
+  EXPECT_EQ(m.discarded_tuples, 13u);
+#endif
+}
+
+#if defined(__SANITIZE_THREAD__)
+#define AJOIN_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define AJOIN_TEST_TSAN 1
+#endif
+#endif
+
+// Death tests fork, which TSan's runtime does not tolerate, so the debug
+// assert is only exercised in plain debug builds.
+#if !defined(NDEBUG) && !defined(AJOIN_TEST_TSAN)
+TEST(MetricsJoinerDeathTest, NoteDroppedUnderflowAsserts) {
+  JoinerMetrics m;
+  m.stored_tuples = 1;
+  m.stored_bytes = 8;
+  EXPECT_DEATH(m.NoteDropped(2, 8), "underflow");
+}
+#endif
 
 TEST(StreamStats, HistogramsEnabled) {
   StreamStats::Options options;

@@ -15,7 +15,10 @@
    Dataflow/ResultSink in src/query/dataflow.h (stage wiring, restamping),
    FlatHashIndex in src/index/flat_index.h and JoinIndex in
    src/localjoin/join_index.h (probe-order guarantees, Reserve semantics,
-   ProbeRun pipeline contract). An undocumented method is a contract hole.
+   ProbeRun pipeline contract), MetricsRegistry/TelemetrySampler in
+   src/runtime/metrics_registry.h and TraceRing in src/common/trace_ring.h
+   (threading rules of the observability plane: who may publish, who may
+   read, what is lock-free). An undocumented method is a contract hole.
 
 Exit code 0 = clean; 1 = findings (printed one per line).
 """
@@ -78,6 +81,8 @@ API_SURFACES = (
     ("src/query/dataflow.h", ("Dataflow", "ResultSink")),
     ("src/index/flat_index.h", ("FlatHashIndex",)),
     ("src/localjoin/join_index.h", ("JoinIndex",)),
+    ("src/runtime/metrics_registry.h", ("MetricsRegistry", "TelemetrySampler")),
+    ("src/common/trace_ring.h", ("TraceRing",)),
 )
 METHOD_RE = re.compile(r"^(virtual\s+)?[A-Za-z_][\w:<>,&*\s]*\(")
 

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validates a TelemetrySampler JSON export against schema_version 1.
+
+Run by the CI telemetry smoke step against the file
+example_fluctuating_streams writes, and usable locally against any
+TelemetrySampler::WriteJson output:
+
+    python3 tools/validate_telemetry.py telemetry.json [--require-edges]
+
+Checks:
+  * top level: telemetry (string), schema_version == 1, meta, samples, trace
+  * meta: period_us, capacity, samples_taken, samples_kept, tasks — all
+    non-negative integers, samples_kept == len(samples) <= samples_taken
+  * every sample: t_us, an exchange rollup, a tasks array (joiner entries
+    carry the full counter set incl. epoch/migrating, reshuffler entries the
+    routing counters), and an edges array whose entries carry the
+    backpressure fields (credit_waits, credit_wait_ns, ring_occupancy,
+    ring_peak, ring_capacity, overflow_depth)
+  * per-task cumulative counters are monotone across samples
+  * every trace event: index, a known kind, task, t_us, a, b
+  * --require-edges: at least one sample must carry a non-empty edges array
+    (threaded exports; sim-engine exports have no exchange plane)
+
+Exit code 0 = valid; 1 = findings (printed one per line).
+"""
+
+import argparse
+import json
+import sys
+
+SAMPLE_KEYS = ("t_us", "exchange", "tasks", "edges")
+EXCHANGE_KEYS = ("envelopes", "batches", "credit_waits", "credit_wait_ns",
+                 "overflow_batches")
+JOINER_KEYS = ("in_tuples", "in_bytes", "probe_candidates", "output_tuples",
+               "mig_out_tuples", "mig_in_tuples", "discarded_tuples",
+               "migrations_finalized", "stored_tuples", "stored_bytes",
+               "peak_stored_bytes", "latency_count", "latency_sum_us",
+               "epoch", "migrating")
+RESHUFFLER_KEYS = ("routed_tuples", "sent_msgs", "sent_bytes",
+                   "epoch_changes", "results_restamped")
+EDGE_KEYS = ("producer", "consumer", "bounded", "batches", "envelopes",
+             "credit_waits", "credit_wait_ns", "overflow_batches",
+             "ring_occupancy", "ring_peak", "ring_capacity", "overflow_depth")
+MONOTONE_JOINER_KEYS = ("in_tuples", "output_tuples", "migrations_finalized")
+TRACE_KINDS = ("epoch_change", "migration_begin", "migration_finalize",
+               "credit_stall")
+
+
+def require(errors, cond, msg):
+    if not cond:
+        errors.append(msg)
+
+
+def check_counter(errors, obj, key, where):
+    require(errors, key in obj, f"{where}: missing '{key}'")
+    if key in obj:
+        value = obj[key]
+        require(errors, isinstance(value, (int, float)) and value >= 0,
+                f"{where}: '{key}' is not a non-negative number")
+
+
+def check_sample(errors, sample, i):
+    where = f"samples[{i}]"
+    for key in SAMPLE_KEYS:
+        require(errors, key in sample, f"{where}: missing '{key}'")
+    if "exchange" in sample:
+        for key in EXCHANGE_KEYS:
+            check_counter(errors, sample["exchange"], key,
+                          f"{where}.exchange")
+    for t, task in enumerate(sample.get("tasks", [])):
+        twhere = f"{where}.tasks[{t}]"
+        require(errors, task.get("kind") in ("joiner", "reshuffler"),
+                f"{twhere}: bad kind {task.get('kind')!r}")
+        keys = (JOINER_KEYS if task.get("kind") == "joiner"
+                else RESHUFFLER_KEYS)
+        for key in keys:
+            check_counter(errors, task, key, twhere)
+    for e, edge in enumerate(sample.get("edges", [])):
+        for key in EDGE_KEYS:
+            check_counter(errors, edge, key, f"{where}.edges[{e}]")
+
+
+def check_monotone(errors, samples):
+    prev = {}
+    for i, sample in enumerate(samples):
+        for task in sample.get("tasks", []):
+            if task.get("kind") != "joiner":
+                continue
+            tid = task.get("task")
+            for key in MONOTONE_JOINER_KEYS:
+                last = prev.get((tid, key), 0)
+                cur = task.get(key, 0)
+                require(errors, cur >= last,
+                        f"samples[{i}] task {tid}: '{key}' went backwards "
+                        f"({last} -> {cur})")
+                prev[(tid, key)] = cur
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="TelemetrySampler::WriteJson output")
+    parser.add_argument("--require-edges", action="store_true",
+                        help="fail unless some sample has per-edge stats")
+    args = parser.parse_args()
+
+    errors = []
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{args.path}: unreadable or invalid JSON: {exc}")
+        return 1
+
+    require(errors, isinstance(doc.get("telemetry"), str),
+            "top level: missing 'telemetry' name")
+    require(errors, doc.get("schema_version") == 1,
+            f"top level: schema_version {doc.get('schema_version')!r} != 1")
+    meta = doc.get("meta")
+    require(errors, isinstance(meta, dict), "top level: missing 'meta'")
+    samples = doc.get("samples")
+    require(errors, isinstance(samples, list), "top level: missing 'samples'")
+    trace = doc.get("trace")
+    require(errors, isinstance(trace, list), "top level: missing 'trace'")
+    if errors:
+        for error in errors:
+            print(error)
+        return 1
+
+    for key in ("period_us", "capacity", "samples_taken", "samples_kept",
+                "tasks"):
+        check_counter(errors, meta, key, "meta")
+    if "samples_kept" in meta:
+        require(errors, meta["samples_kept"] == len(samples),
+                f"meta: samples_kept {meta['samples_kept']} != "
+                f"{len(samples)} samples present")
+    if "samples_taken" in meta and "samples_kept" in meta:
+        require(errors, meta["samples_kept"] <= meta["samples_taken"],
+                "meta: samples_kept exceeds samples_taken")
+
+    for i, sample in enumerate(samples):
+        check_sample(errors, sample, i)
+    check_monotone(errors, samples)
+
+    for i, event in enumerate(trace):
+        where = f"trace[{i}]"
+        require(errors, event.get("kind") in TRACE_KINDS,
+                f"{where}: unknown kind {event.get('kind')!r}")
+        for key in ("index", "task", "t_us", "a", "b"):
+            check_counter(errors, event, key, where)
+
+    if args.require_edges:
+        require(errors,
+                any(sample.get("edges") for sample in samples),
+                "--require-edges: no sample carries per-edge stats")
+
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"\n{len(errors)} telemetry schema failure(s)", file=sys.stderr)
+        return 1
+    n_tasks = max((len(s.get("tasks", [])) for s in samples), default=0)
+    print(f"telemetry schema valid: {len(samples)} samples, "
+          f"{n_tasks} tasks, {len(trace)} trace events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
