@@ -1,63 +1,132 @@
-// Elasticity (paper §4.2.2, Theorem 4.3): start the operator on 4 joiners
-// with a per-joiner capacity M; whenever expected state exceeds M/2 every
-// joiner splits into 4, quadrupling the grid while output stays exact.
+// Elastic runtime scaling (section 4.3, closed into a live loop): a
+// background AutoscaleController watches a running threaded join through
+// the telemetry plane and adds/retires joiner machines mid-stream — the
+// migration protocol (Alg. 3) reshapes the grid without pausing the input,
+// and the output stays exact throughout.
+//
+// The demo drives a surge/idle cycle: paced input keeps the rate trigger
+// below threshold, then the full-speed burst trips it (4 -> 16 joiners);
+// once the stream goes silent the idle trigger folds the grid back down
+// (16 -> 4). The decision log and the controller's migration log show the
+// round trip.
 
-#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <functional>
+#include <thread>
 
 #include "src/common/random.h"
+#include "src/core/autoscale.h"
 #include "src/core/operator.h"
-#include "src/sim/sim_engine.h"
+#include "src/runtime/metrics_registry.h"
+#include "src/runtime/thread_engine.h"
 
 using namespace ajoin;
 
+namespace {
+
+bool PollUntil(const std::function<bool()>& pred, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+const char* DecisionName(AutoscalePolicy::Decision d) {
+  switch (d) {
+    case AutoscalePolicy::Decision::kHold: return "hold";
+    case AutoscalePolicy::Decision::kGrow: return "grow";
+    case AutoscalePolicy::Decision::kShrink: return "shrink";
+  }
+  return "?";
+}
+
+}  // namespace
+
 int main() {
-  SimEngine engine;
+  ThreadEngine engine{ExchangeConfig{}};
+  MetricsRegistry registry;
   OperatorConfig config;
   config.spec = MakeEquiJoin(0, 0);
   config.machines = 4;
   config.adaptive = true;
-  config.min_total_before_adapt = 128;
-  config.max_expansions = 2;           // up to 4 -> 16 -> 64 joiners
-  config.max_tuples_per_joiner = 16000; // capacity M
+  config.epsilon = 0.5;
+  config.min_total_before_adapt = 16;
+  config.max_expansions = 1;  // 16 allocated slots; 12 start dormant
+  config.registry = &registry;
   JoinOperator op(engine, config);
   engine.Start();
 
+  AutoscaleConfig ac;
+  ac.min_live = 4;
+  ac.max_live = 16;
+  ac.grow_stall_ratio = 0;        // deterministic demo: rate triggers only
+  ac.grow_rate_per_joiner = 1;    // any sustained input is a surge
+  ac.shrink_rate_per_joiner = 1;  // a silent stream is idle
+  ac.surge_ticks = 1;
+  ac.idle_ticks = 2;
+  ac.cooldown_ticks = 1;
+  AutoscaleController::Options opts;
+  opts.period_us = 1000;
+  AutoscaleController ctl(op, &registry, op.joiner_task_ids(), ac);
+  ctl.SetExchangeSource([&engine] { return engine.exchange_stats(); });
+  ctl.Start();
+
   Rng rng(11);
-  const int kTuples = 60000;
+  const int kTuples = 12000;
   for (int i = 0; i < kTuples; ++i) {
     StreamTuple t;
-    t.rel = rng.NextBool(0.5) ? Rel::kR : Rel::kS;
-    t.key = static_cast<int64_t>(rng.Uniform(20000));
+    t.rel = rng.NextBool(0.25) ? Rel::kR : Rel::kS;
+    t.key = static_cast<int64_t>(rng.Uniform(4000));
     t.bytes = 24;
     op.Push(t);
-    engine.WaitQuiescent();
+    // Keep the surge visible across policy ticks until the first grow lands
+    // (pacing only shortcuts once the controller has acted).
+    if (i % 50 == 0 && ctl.grows() == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
   }
+  op.FlushInput();
+  PollUntil([&] { return ctl.grows() >= 1; }, 15000);
+  // Silence: the idle trigger folds the grid back down.
+  PollUntil([&] { return ctl.shrinks() >= 1; }, 15000);
+  ctl.Stop();
   op.SendEos();
   engine.WaitQuiescent();
 
-  std::printf("streamed %d tuples into a 4-joiner operator (M = %llu)\n\n",
-              kTuples,
-              static_cast<unsigned long long>(config.max_tuples_per_joiner));
+  std::printf("streamed %d tuples into a 4-joiner operator "
+              "(16 allocated slots)\n\n", kTuples);
+  std::printf("autoscale decisions:\n");
+  for (const AutoscaleController::Action& a : ctl.log()) {
+    std::printf("  t=%8lluus %-6s live=%2u rate=%8.0f/s%s\n",
+                static_cast<unsigned long long>(a.t_us),
+                DecisionName(a.decision), a.sample.live_joiners,
+                a.sample.input_rate, a.accepted ? "" : " (refused)");
+  }
+  std::printf("\nmigration log:\n");
   for (const MigrationRecord& rec : op.controller()->log()) {
-    std::printf("  epoch %u: %s -> %s %s(~%llu tuples)\n", rec.epoch,
+    std::printf("  epoch %u: %s -> %s%s%s (~%llu tuples)\n", rec.epoch,
                 rec.from.ToString().c_str(), rec.to.ToString().c_str(),
-                rec.expansion ? "EXPANSION " : "",
+                rec.expansion ? " EXPANSION" : "",
+                rec.contraction ? " CONTRACTION" : "",
                 static_cast<unsigned long long>(rec.at_scaled_tuples));
   }
-  uint64_t active = 0, max_stored = 0;
-  for (size_t i = 0; i < op.num_joiner_slots(); ++i) {
-    const auto& m = op.joiner(i).metrics();
-    if (m.stored_tuples > 0) ++active;
-    max_stored = std::max(max_stored, m.stored_tuples);
+  uint32_t live = 0;
+  for (const TaskSnapshot& task : registry.Snapshot()) {
+    if (task.kind == TaskKind::kJoiner && task.joiner.active) ++live;
   }
-  std::printf("\nfinal grid: %s — %llu active joiners\n",
-              op.controller()->current_mapping(0).ToString().c_str(),
-              static_cast<unsigned long long>(active));
-  std::printf("max per-joiner state: %llu tuples (capacity %llu)\n",
-              static_cast<unsigned long long>(max_stored),
-              static_cast<unsigned long long>(config.max_tuples_per_joiner));
+  std::printf("\nfinal grid: %s — %u live joiners (grows %llu, shrinks "
+              "%llu)\n",
+              op.controller()->current_mapping(0).ToString().c_str(), live,
+              static_cast<unsigned long long>(ctl.grows()),
+              static_cast<unsigned long long>(ctl.shrinks()));
   std::printf("join results: %llu\n",
               static_cast<unsigned long long>(op.TotalOutputs()));
-  return 0;
+  engine.Shutdown();
+  const bool ok = ctl.grows() >= 1 && ctl.shrinks() >= 1;
+  std::printf("%s\n", ok ? "round trip complete" : "NO ROUND TRIP");
+  return ok ? 0 : 1;
 }

@@ -10,10 +10,20 @@
 // backpressure counters, and the migration/stall trace ring — and exports
 // the series as schema-versioned JSON (tools/validate_telemetry.py checks
 // it).
+//
+// `--autoscale <path>` runs the CI surge smoke instead: a threaded run with
+// a live AutoscaleController that must grow on the surge and shrink once
+// the stream goes silent, exporting telemetry whose trace carries both
+// scale events (validate_telemetry.py --require-scale-events enforces it).
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <thread>
 
 #include "src/common/trace_ring.h"
+#include "src/core/autoscale.h"
 #include "src/core/driver.h"
 #include "src/core/operator.h"
 #include "src/datagen/workloads.h"
@@ -24,6 +34,103 @@
 using namespace ajoin;
 
 namespace {
+
+bool PollUntil(const std::function<bool()>& pred, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+// Surge smoke (--autoscale): a live AutoscaleController on the threaded
+// engine grows the grid under the input surge and folds it back once the
+// stream goes silent; the telemetry export must carry both scale trace
+// events. Exits nonzero if either scale direction never happened.
+int RunAutoscaleExport(const char* path) {
+  Workload w = Workload::Synthetic(/*r_count=*/3000, /*s_count=*/9000,
+                                   24, 24, /*key_domain=*/4000,
+                                   /*zipf=*/0.0, /*seed=*/13);
+  TraceRing trace(1 << 14);
+  MetricsRegistry registry;
+  ThreadEngine engine{ExchangeConfig{}};
+
+  OperatorConfig config;
+  config.spec = w.spec();
+  config.machines = 4;
+  config.adaptive = true;
+  config.epsilon = 0.5;
+  config.min_total_before_adapt = 16;
+  config.max_expansions = 1;  // 16 allocated slots
+  config.registry = &registry;
+  config.trace = &trace;
+  JoinOperator op(engine, config);
+  engine.Start();
+
+  TelemetrySampler::Options topts;
+  topts.period_us = 2000;
+  TelemetrySampler sampler(&registry, topts);
+  sampler.SetEdgeSource([&engine] { return engine.edge_stats(); });
+  sampler.SetExchangeSource([&engine] { return engine.exchange_stats(); });
+  sampler.SetTraceSource(&trace);
+  sampler.Start();
+
+  AutoscaleConfig ac;
+  ac.min_live = 4;
+  ac.max_live = 16;
+  ac.grow_stall_ratio = 0;        // deterministic smoke: rate triggers only
+  ac.grow_rate_per_joiner = 1;    // any sustained input is a surge
+  ac.shrink_rate_per_joiner = 1;  // a silent stream is idle
+  ac.surge_ticks = 1;
+  ac.idle_ticks = 2;
+  ac.cooldown_ticks = 1;
+  AutoscaleController::Options copts;
+  copts.period_us = 1000;
+  AutoscaleController ctl(op, &registry, op.joiner_task_ids(), ac, copts);
+  ctl.SetExchangeSource([&engine] { return engine.exchange_stats(); });
+  ctl.Start();
+
+  ArrivalPolicy policy;
+  policy.kind = ArrivalPolicy::Kind::kFluctuating;
+  policy.fluct_k = 4.0;
+  auto source = w.MakeSource(policy);
+  StreamTuple tuple;
+  uint64_t pushed = 0;
+  while (source->Next(&tuple)) {
+    op.Push(tuple);
+    // Keep the surge visible across policy ticks until the first grow
+    // lands (the pacing only shortcuts once the controller has acted).
+    if (++pushed % 50 == 0 && ctl.grows() == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  op.FlushInput();
+  const bool grew = PollUntil([&] { return ctl.grows() >= 1; }, 15000);
+  // Input has gone silent: the idle trigger must shrink back down.
+  const bool shrank = PollUntil([&] { return ctl.shrinks() >= 1; }, 15000);
+  ctl.Stop();
+  op.SendEos();
+  engine.WaitQuiescent();
+  sampler.Stop();
+
+  uint64_t grow_events = 0, shrink_events = 0;
+  for (const TraceEvent& ev : trace.Snapshot()) {
+    if (ev.kind == TraceEventKind::kScaleGrow) ++grow_events;
+    if (ev.kind == TraceEventKind::kScaleShrink) ++shrink_events;
+  }
+  std::printf("autoscale smoke: grows %llu shrinks %llu (trace: %llu grow, "
+              "%llu shrink events)\n",
+              static_cast<unsigned long long>(ctl.grows()),
+              static_cast<unsigned long long>(ctl.shrinks()),
+              static_cast<unsigned long long>(grow_events),
+              static_cast<unsigned long long>(shrink_events));
+  const bool wrote = sampler.WriteJson(path, "fluctuating_streams_autoscale");
+  std::printf("  wrote %s: %s\n", path, wrote ? "ok" : "FAILED");
+  engine.Shutdown();
+  return (grew && shrank && wrote) ? 0 : 1;
+}
 
 // Phase 2 (optional, enabled by an output path argument): the same
 // fluctuating workload on the threaded engine with live sampling during
@@ -90,6 +197,9 @@ int RunThreadedExport(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 2 && std::strcmp(argv[1], "--autoscale") == 0) {
+    return RunAutoscaleExport(argv[2]);
+  }
   const double k = 4.0;
   Workload w = Workload::Synthetic(/*r_count=*/120000, /*s_count=*/120000,
                                    32, 32, /*key_domain=*/60000,

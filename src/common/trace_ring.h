@@ -33,6 +33,11 @@ enum class TraceEventKind : uint32_t {
   kMigrationBegin = 1,     // joiner entered a migration (Alg. 3 line 1)
   kMigrationFinalize = 2,  // joiner finalized (Alg. 3 line 29)
   kCreditStall = 3,        // producer stalled for credits on a bounded edge
+  kScaleGrow = 4,          // elastic grow: controller decision (a = epoch,
+                           // b = new J) or joiner activation (a = epoch,
+                           // b = machine index)
+  kScaleShrink = 5,        // elastic shrink: controller decision / joiner
+                           // retirement (payload as kScaleGrow)
 };
 
 /// One recorded event, as returned by TraceRing::Snapshot.
@@ -52,6 +57,8 @@ inline const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kMigrationBegin: return "migration_begin";
     case TraceEventKind::kMigrationFinalize: return "migration_finalize";
     case TraceEventKind::kCreditStall: return "credit_stall";
+    case TraceEventKind::kScaleGrow: return "scale_grow";
+    case TraceEventKind::kScaleShrink: return "scale_shrink";
   }
   return "?";
 }

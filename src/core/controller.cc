@@ -18,6 +18,7 @@ ControllerCore::ControllerCore(ControllerConfig config,
     g.mapping = info.initial;
     g.share = info.share;
     g.cur_machines = info.initial.J();
+    g.max_machines = info.initial.J() << (2 * config_.max_expansions);
     groups_.push_back(g);
   }
 }
@@ -76,31 +77,89 @@ Mapping ControllerCore::OptimalFor(const GroupState& g) const {
   return OptimalMapping(g.cur_machines, r, s);
 }
 
+Mapping ControllerCore::ContractFor(const GroupState& g) const {
+  // Valid contraction folds drop two grid bits total (J -> J/4) without
+  // growing either dim, so every new partition is a union of old ones. Pick
+  // the ILF-minimizing fold under the current (padded) totals; a follow-up
+  // relabel can reach the unconstrained optimum once the shrink lands.
+  const uint32_t jprime = g.cur_machines / 4;
+  double r = std::max(r_units_, 1.0);
+  double s = std::max(s_units_, 1.0);
+  r = std::max(r, s / jprime);
+  s = std::max(s, r / jprime);
+  Mapping best;
+  double best_ilf = 0;
+  bool have_best = false;
+  const Mapping candidates[3] = {Mapping{g.mapping.n / 4, g.mapping.m},
+                                 Mapping{g.mapping.n / 2, g.mapping.m / 2},
+                                 Mapping{g.mapping.n, g.mapping.m / 4}};
+  for (const Mapping& c : candidates) {
+    if (c.n < 1 || c.m < 1) continue;
+    double ilf = r / c.n + s / c.m;
+    if (!have_best || ilf < best_ilf) {
+      best = c;
+      best_ilf = ilf;
+      have_best = true;
+    }
+  }
+  AJOIN_CHECK_MSG(have_best && best.J() == jprime, "no valid contraction fold");
+  return best;
+}
+
 void ControllerCore::DecideGroup(uint32_t gi, std::vector<EpochSpec>* out) {
   GroupState& g = groups_[gi];
-  Mapping opt = OptimalFor(g);
+  Mapping opt;
   bool expand = false;
-  if (opt == g.mapping) {
-    // Mapping already optimal; consider elastic expansion (Theorem 4.3):
-    // expand when the expected per-joiner tuple count exceeds M/2.
-    if (config_.max_tuples_per_joiner == 0 ||
-        g.expansions_done >= config_.max_expansions) {
-      return;
+  bool contract = false;
+  // Explicit scale steps (RequestScale) take priority over ILF relabels;
+  // one step per migration round, the rest re-enter via OnAck.
+  if (g.pending_scale > 0) {
+    if (g.cur_machines * 4 > g.max_machines) {
+      g.pending_scale = 0;  // no allocated slots left: drop the request
+    } else {
+      expand = true;
+      opt = Mapping{g.mapping.n * 2, g.mapping.m * 2};
+      --g.pending_scale;
     }
-    double per_joiner =
-        g.share * (static_cast<double>(r_tuples_) / g.mapping.n +
-                   static_cast<double>(s_tuples_) / g.mapping.m);
-    if (per_joiner <= static_cast<double>(config_.max_tuples_per_joiner) / 2) {
-      return;
+  } else if (g.pending_scale < 0) {
+    if (g.cur_machines < 16) {
+      g.pending_scale = 0;  // a /4 step would drop below the 4-machine
+                            // minimum grid: drop the request
+    } else {
+      contract = true;
+      opt = ContractFor(g);
+      ++g.pending_scale;
     }
-    expand = true;
-    opt = Mapping{g.mapping.n * 2, g.mapping.m * 2};
+  }
+  if (!expand && !contract) {
+    // Non-adaptive runs only ever reach here via a bounds-refused scale
+    // request; they never emit ILF relabels.
+    if (!config_.adaptive) return;
+    opt = OptimalFor(g);
+    if (opt == g.mapping) {
+      // Mapping already optimal; consider elastic expansion (Theorem 4.3):
+      // expand when the expected per-joiner tuple count exceeds M/2.
+      if (config_.max_tuples_per_joiner == 0 ||
+          g.cur_machines * 4 > g.max_machines) {
+        return;
+      }
+      double per_joiner =
+          g.share * (static_cast<double>(r_tuples_) / g.mapping.n +
+                     static_cast<double>(s_tuples_) / g.mapping.m);
+      if (per_joiner <=
+          static_cast<double>(config_.max_tuples_per_joiner) / 2) {
+        return;
+      }
+      expand = true;
+      opt = Mapping{g.mapping.n * 2, g.mapping.m * 2};
+    }
   }
   EpochSpec spec;
   spec.group = gi;
   spec.epoch = g.epoch + 1;
   spec.mapping = opt;
   spec.expansion = expand;
+  spec.contraction = contract;
   out->push_back(spec);
 
   MigrationRecord rec;
@@ -109,19 +168,36 @@ void ControllerCore::DecideGroup(uint32_t gi, std::vector<EpochSpec>* out) {
   rec.from = g.mapping;
   rec.to = opt;
   rec.expansion = expand;
+  rec.contraction = contract;
   rec.at_scaled_tuples = r_tuples_ + s_tuples_;
   log_.push_back(rec);
 
   g.epoch = spec.epoch;
-  if (expand) {
-    g.cur_machines *= 4;
-    g.expansions_done++;
+  if (expand || contract) {
+    scale_commits_.fetch_add(1, std::memory_order_release);
   }
+  if (expand) g.cur_machines *= 4;
+  if (contract) g.cur_machines /= 4;
   g.mapping = opt;
-  g.acks_expected = g.cur_machines;
-  g.acks_pending = g.cur_machines;
-  AJOIN_LOG_INFO("controller: group %u epoch %u -> %s%s", gi, spec.epoch,
-                 opt.ToString().c_str(), expand ? " (expansion)" : "");
+  // Every allocated slot acks, not just the target grid: dormant slots and
+  // contraction retirees track the layout too, and the barrier must keep
+  // them in epoch lockstep — a slot outside the barrier could straggle an
+  // epoch behind while faster reshuffler channels already carry the next
+  // epoch's signals (and a straggling retiree still owes probe results for
+  // in-flight old-epoch tuples).
+  g.acks_expected = g.max_machines;
+  g.acks_pending = g.max_machines;
+  AJOIN_LOG_INFO("controller: group %u epoch %u -> %s%s%s", gi, spec.epoch,
+                 opt.ToString().c_str(), expand ? " (expansion)" : "",
+                 contract ? " (contraction)" : "");
+}
+
+void ControllerCore::RequestScale(int64_t steps, std::vector<EpochSpec>* out) {
+  AJOIN_CHECK_MSG(groups_.size() == 1,
+                  "elastic scaling requires a single power-of-two group");
+  GroupState& g = groups_[0];
+  g.pending_scale += steps;
+  if (g.pending_scale != 0 && g.acks_pending == 0) DecideGroup(0, out);
 }
 
 void ControllerCore::OnAck(uint32_t group, uint32_t epoch,
@@ -130,10 +206,16 @@ void ControllerCore::OnAck(uint32_t group, uint32_t epoch,
   AJOIN_CHECK_MSG(epoch == g.epoch, "ack for unexpected epoch");
   AJOIN_CHECK(g.acks_pending > 0);
   --g.acks_pending;
-  if (g.acks_pending == 0 && config_.adaptive && !config_.barrier_mode) {
-    // The data distribution may have shifted during the migration; correct
-    // immediately rather than waiting for the next threshold crossing.
-    DecideGroup(group, out);
+  if (g.acks_pending == 0) {
+    if (g.pending_scale != 0) {
+      // Queued explicit scale steps apply as soon as the group is quiet,
+      // independent of the adaptive/barrier policy.
+      DecideGroup(group, out);
+    } else if (config_.adaptive && !config_.barrier_mode) {
+      // The data distribution may have shifted during the migration; correct
+      // immediately rather than waiting for the next threshold crossing.
+      DecideGroup(group, out);
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -44,6 +45,7 @@ struct MigrationRecord {
   Mapping from;
   Mapping to;
   bool expansion = false;
+  bool contraction = false;
   uint64_t at_scaled_tuples = 0;  // estimated global tuple count at decision
 };
 
@@ -69,6 +71,19 @@ class ControllerCore {
   /// group if the data moved on during the migration.
   void OnAck(uint32_t group, uint32_t epoch, std::vector<EpochSpec>* out);
 
+  /// Elastic scale request (kScale): `steps` > 0 queues that many 4x grow
+  /// steps, < 0 queues |steps| /4 shrink steps. One step is committed per
+  /// migration round; a step is applied immediately if the group is not
+  /// migrating, otherwise when the in-flight migration's last ack lands —
+  /// so explicit scaling serializes behind (and takes priority over) ILF
+  /// relabel decisions. Steps that would exceed the allocated slot budget
+  /// (initial J << 2*max_expansions) or shrink below 4 machines drop the
+  /// remaining request. Requires a single group.
+  void RequestScale(int64_t steps, std::vector<EpochSpec>* out);
+
+  /// Scale steps requested but not yet committed (signed; testing/policy).
+  int64_t pending_scale() const { return groups_[0].pending_scale; }
+
   bool AnyMigrating() const;
   bool Migrating(uint32_t group) const { return groups_[group].acks_pending > 0; }
 
@@ -84,6 +99,14 @@ class ControllerCore {
   }
   const std::vector<MigrationRecord>& log() const { return log_; }
 
+  /// Committed scale rounds (expansions + contractions) so far. Atomic so a
+  /// thread outside the engine (tests, an autoscaler) can poll commit
+  /// progress while the controller's reshuffler is live; everything else on
+  /// this class is single-threaded reshuffler state.
+  uint64_t scale_commits() const {
+    return scale_commits_.load(std::memory_order_acquire);
+  }
+
  private:
   struct GroupState {
     Mapping mapping;
@@ -91,8 +114,9 @@ class ControllerCore {
     uint32_t epoch = 0;
     uint32_t acks_pending = 0;
     uint32_t acks_expected = 0;
-    uint32_t expansions_done = 0;
-    uint32_t cur_machines = 0;  // J_g after expansions
+    uint32_t cur_machines = 0;  // J_g after expansions/contractions
+    uint32_t max_machines = 0;  // allocated slots: initial J << 2*max_exp
+    int64_t pending_scale = 0;  // queued explicit scale steps (signed)
   };
 
   /// Evaluates thresholds; if crossed, folds Δ into totals and (for every
@@ -100,6 +124,9 @@ class ControllerCore {
   void MaybeDecide(std::vector<EpochSpec>* out, bool force_checkpoint);
   /// Optimal mapping for group g under current totals with dummy padding.
   Mapping OptimalFor(const GroupState& g) const;
+  /// ILF-minimizing valid fold of g's mapping onto J/4 machines (the
+  /// contraction target must satisfy n' <= n, m' <= m).
+  Mapping ContractFor(const GroupState& g) const;
   void DecideGroup(uint32_t gi, std::vector<EpochSpec>* out);
 
   ControllerConfig config_;
@@ -113,6 +140,7 @@ class ControllerCore {
   uint64_t r_tuples_ = 0, s_tuples_ = 0, dr_tuples_ = 0, ds_tuples_ = 0;
 
   std::vector<MigrationRecord> log_;
+  std::atomic<uint64_t> scale_commits_{0};
 };
 
 }  // namespace ajoin

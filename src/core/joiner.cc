@@ -15,7 +15,15 @@ JoinerCore::JoinerCore(JoinerConfig config)
       index_{JoinIndex(JoinIndex::KindFor(config_.spec.kind),
                        JoinIndex::ImplFor(config_.use_flat_index)),
              JoinIndex(JoinIndex::KindFor(config_.spec.kind),
-                       JoinIndex::ImplFor(config_.use_flat_index))} {}
+                       JoinIndex::ImplFor(config_.use_flat_index))} {
+  // Seed the telemetry cell before the first dispatch so samplers see the
+  // correct participation flag for slots that have not received a message
+  // yet (dormant expansion slots in particular).
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->PublishJoiner(metrics_, epoch_, migrating_,
+                                     participating());
+  }
+}
 
 void JoinerCore::OnMessage(Envelope msg, Context& ctx) {
   switch (msg.type) {
@@ -42,7 +50,8 @@ void JoinerCore::OnMessage(Envelope msg, Context& ctx) {
   // Publish live telemetry once per dispatch: counters stay plain stores
   // above; the cell write is the only synchronized step.
   if (config_.telemetry != nullptr) {
-    config_.telemetry->PublishJoiner(metrics_, epoch_, migrating_);
+    config_.telemetry->PublishJoiner(metrics_, epoch_, migrating_,
+                                     participating());
   }
 }
 
@@ -108,7 +117,8 @@ void JoinerCore::OnBatch(TupleBatch batch, Context& ctx) {
   // One telemetry publish per batch (the fallback paths above publish per
   // envelope through OnMessage).
   if (config_.telemetry != nullptr) {
-    config_.telemetry->PublishJoiner(metrics_, epoch_, migrating_);
+    config_.telemetry->PublishJoiner(metrics_, epoch_, migrating_,
+                                     participating());
   }
 }
 
@@ -384,22 +394,31 @@ void JoinerCore::StartMigration(const EpochSpec& spec, Context& ctx) {
     config_.trace->Record(TraceEventKind::kMigrationBegin, ctx.self(),
                           ctx.NowMicros(), new_epoch_, config_.group);
   }
-  to_layout_ =
-      spec.expansion ? layout_.Expand() : layout_.Relabel(spec.mapping);
+  to_layout_ = spec.expansion     ? layout_.Expand()
+               : spec.contraction ? layout_.Contract(spec.mapping)
+                                  : layout_.Relabel(spec.mapping);
   AJOIN_CHECK(to_layout_.mapping() == spec.mapping);
   plan_ = std::make_unique<MigrationPlan>(layout_, to_layout_, spec.expansion);
   // Participation is defined by the *target* layout: expansion children are
-  // not in the old grid but receive state and must ack; machines beyond the
-  // target grid only track the layout.
+  // not in the old grid but receive state and wait for their senders'
+  // MigEnds; machines beyond the target grid (dormant slots, and survivors'
+  // retiring peers under a contraction) wait for signals only — a retiring
+  // machine still executes its send directives and MigEnd markers, then
+  // finalizes by dropping everything. All slots ack, keeping the whole
+  // allocation in epoch lockstep behind the controller's barrier.
   if (config_.machine_index < to_layout_.J()) {
     migend_pending_ = static_cast<int64_t>(
                           plan_->ExpectedSenders(config_.machine_index).size()) -
                       early_migend_;
     early_migend_ = 0;
-    SendOldStateForMigration(ctx);  // "Send tau for migration" (line 3)
   } else {
     migend_pending_ = 0;
   }
+  // "Send tau for migration" (line 3). Every machine of the *old* grid with
+  // directives sends — under a contraction that includes the retirees, whose
+  // entire state moves to the survivors. (The function is a no-op for
+  // machines outside the from grid.)
+  SendOldStateForMigration(ctx);
 }
 
 void JoinerCore::SendOldStateForMigration(Context& ctx) {
@@ -472,7 +491,6 @@ void JoinerCore::MaybeFinalize(Context& ctx) {
 void JoinerCore::FinalizeMigration(Context& ctx) {
   // tau <- Keep(tau ∪ Δ) ∪ µ ∪ Δ' (Alg. 3 line 29): physically drop Discard
   // entries, reset labels, rebuild indexes.
-  bool acks = config_.machine_index < to_layout_.J();
   for (int rel_i = 0; rel_i < 2; ++rel_i) {
     Rel rel = static_cast<Rel>(rel_i);
     auto& entries = entries_[static_cast<size_t>(rel_i)];
@@ -502,6 +520,7 @@ void JoinerCore::FinalizeMigration(Context& ctx) {
       index.Add(index_key, id);
     }
   }
+  const bool was_participating = participating();
   layout_ = to_layout_;
   epoch_ = new_epoch_;
   migrating_ = false;
@@ -512,15 +531,24 @@ void JoinerCore::FinalizeMigration(Context& ctx) {
   if (config_.trace != nullptr) {
     config_.trace->Record(TraceEventKind::kMigrationFinalize, ctx.self(),
                           ctx.NowMicros(), epoch_, config_.group);
+    // Slot lifecycle events: this joiner joined (expansion child) or left
+    // (contraction retiree) the active grid at this epoch boundary.
+    if (participating() != was_participating) {
+      config_.trace->Record(participating() ? TraceEventKind::kScaleGrow
+                                            : TraceEventKind::kScaleShrink,
+                            ctx.self(), ctx.NowMicros(), epoch_,
+                            config_.machine_index);
+    }
   }
-  if (acks) {
-    Envelope ack;
-    ack.type = MsgType::kMigAck;
-    ack.group = config_.group;
-    ack.espec.group = config_.group;
-    ack.espec.epoch = epoch_;
-    ctx.Send(config_.controller_task, std::move(ack));
-  }
+  // Every slot acks — dormant trackers and contraction retirees included —
+  // so the controller's barrier keeps the whole allocation in epoch
+  // lockstep (see ControllerCore::DecideGroup).
+  Envelope ack;
+  ack.type = MsgType::kMigAck;
+  ack.group = config_.group;
+  ack.espec.group = config_.group;
+  ack.espec.epoch = epoch_;
+  ctx.Send(config_.controller_task, std::move(ack));
 }
 
 void JoinerCore::HandleEos(Envelope& msg, Context& ctx) {

@@ -45,6 +45,42 @@ MigrationPlan::MigrationPlan(const GridLayout& from, const GridLayout& to,
     return;
   }
 
+  if (to.J() < from.J()) {
+    // Elastic contraction: J/4 machines. Each survivor q < to.J() already
+    // holds one old R-row and one old S-column; it needs the remaining old
+    // rows/columns that fold into its new coordinates. Exactly one old
+    // machine holds each (needed row, survivor's old column) /
+    // (survivor's old row, needed column) cell, so every (survivor, rel,
+    // part) has a unique sender — retiring machines among them. No
+    // mu-x-mu probing is needed: every old-partition pair was co-located
+    // on some old machine, so all old x old results were already produced
+    // (the same argument that makes expansion exact, run in reverse).
+    contraction_ = true;
+    AJOIN_CHECK(to.J() * 4 == from.J());
+    const uint32_t kr = static_cast<uint32_t>(Log2Exact(from.mapping().n) -
+                                              Log2Exact(to.mapping().n));
+    const uint32_t ks = static_cast<uint32_t>(Log2Exact(from.mapping().m) -
+                                              Log2Exact(to.mapping().m));
+    AJOIN_CHECK(kr + ks == 2);
+    for (uint32_t q = 0; q < to.J(); ++q) {
+      Coords oldc = from.CoordsOf(q);
+      Coords newc = to.CoordsOf(q);
+      for (uint32_t b = 0; b < (1u << kr); ++b) {
+        uint32_t old_row = (newc.i << kr) | b;
+        if (old_row == oldc.i) continue;  // already local
+        uint32_t sender = from.MachineAt(old_row, oldc.j);
+        AddDirective(sender, SendDirective{q, Rel::kR, newc.i});
+      }
+      for (uint32_t b = 0; b < (1u << ks); ++b) {
+        uint32_t old_col = (newc.j << ks) | b;
+        if (old_col == oldc.j) continue;
+        uint32_t sender = from.MachineAt(oldc.i, old_col);
+        AddDirective(sender, SendDirective{q, Rel::kS, newc.j});
+      }
+    }
+    return;
+  }
+
   AJOIN_CHECK(to.J() == from.J());
   const Mapping fm = from.mapping();
   const Mapping tm = to.mapping();

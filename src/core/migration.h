@@ -27,12 +27,15 @@ struct SendDirective {
 class MigrationPlan {
  public:
   /// Builds the plan for a same-J relabeling migration (row- or column-
-  /// merge) or an expansion (to = from.Expand(), 4x machines).
+  /// merge), an expansion (to = from.Expand(), 4x machines), or an elastic
+  /// contraction (to = from.Contract(...), J/4 machines — detected from the
+  /// machine counts; retiring machines get send directives but no senders).
   MigrationPlan(const GridLayout& from, const GridLayout& to, bool expansion);
 
   const GridLayout& from() const { return from_; }
   const GridLayout& to() const { return to_; }
   bool expansion() const { return expansion_; }
+  bool contraction() const { return contraction_; }
 
   /// Number of machine slots covered by the plan (max of old and new J).
   uint32_t NumMachines() const { return static_cast<uint32_t>(sends_.size()); }
@@ -55,9 +58,10 @@ class MigrationPlan {
 
   /// Whether a tuple of `rel` with `tag` stays on machine p under the target
   /// mapping (the Keep set; the complement of Keep among old state is
-  /// Discard).
+  /// Discard). A machine retiring under a contraction (p >= to.J()) keeps
+  /// nothing.
   bool Keeps(uint32_t p, Rel rel, uint64_t tag) const {
-    return to_.Owns(p, rel, tag);
+    return p < to_.J() && to_.Owns(p, rel, tag);
   }
 
   /// Total tuples a machine holding r_count R-tuples and s_count S-tuples
@@ -70,6 +74,7 @@ class MigrationPlan {
   GridLayout from_;
   GridLayout to_;
   bool expansion_;
+  bool contraction_ = false;
   std::vector<std::vector<SendDirective>> sends_;
   std::vector<std::vector<uint32_t>> targets_;
   std::vector<std::vector<uint32_t>> expected_senders_;

@@ -167,6 +167,29 @@ void JoinOperator::RouteResultsTo(const std::vector<int>& sinks) {
   RouteJoinerResults(engine_, joiner_ids_, sinks);
 }
 
+bool JoinOperator::PostScale(int64_t steps) {
+  if (steps == 0) return true;
+  // Elastic scaling needs a single power-of-two group (the controller
+  // relabels/folds one grid) and allocated slot headroom to grow into.
+  if (group_count_ != 1 || config_.max_expansions == 0) return false;
+  std::lock_guard<std::mutex> lock(scale_mu_);
+  if (scale_port_ == nullptr) {
+    scale_port_ = engine_.OpenIngress(reshuffler_ids_[0]);
+  }
+  Envelope env;
+  env.type = MsgType::kScale;
+  env.key = steps;
+  return scale_port_->Post(reshuffler_ids_[0], std::move(env));
+}
+
+bool JoinOperator::GrowJoiners(uint32_t steps) {
+  return PostScale(static_cast<int64_t>(steps));
+}
+
+bool JoinOperator::ShrinkJoiners(uint32_t steps) {
+  return PostScale(-static_cast<int64_t>(steps));
+}
+
 void JoinOperator::AcceptResultsAs(Rel rel, int key_col) {
   for (int id : reshuffler_ids_) {
     static_cast<ReshufflerCore*>(engine_.task(id))->AcceptResults(rel,

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -161,6 +162,26 @@ class Operator {
   /// starts dispatching.
   virtual void RouteResultsTo(const std::vector<int>& sinks) = 0;
 
+  /// Elastic runtime scaling: requests `steps` 4x expansions of the live
+  /// joiner grid, applied by the operator's controller one migration round
+  /// at a time with no stream pause (Theorem 4.3's split). Returns false if
+  /// this operator cannot scale (no elastic slot headroom, or the algorithm
+  /// fundamentally cannot repartition). Thread-safe against the Push
+  /// producer; safe to call from a policy thread while the stream runs.
+  virtual bool GrowJoiners(uint32_t steps) {
+    (void)steps;
+    return false;
+  }
+
+  /// Elastic runtime scaling: requests `steps` /4 contractions of the live
+  /// joiner grid (survivors absorb the retirees' state mid-stream; no
+  /// old-state re-probing is needed because every old partition pair was
+  /// already co-located). Same contract and default as GrowJoiners.
+  virtual bool ShrinkJoiners(uint32_t steps) {
+    (void)steps;
+    return false;
+  }
+
   /// Joiner introspection (engine must be quiescent): per-slot cores, the
   /// number of allocated slots, and the input-sequence counter.
   virtual const JoinerCore& joiner(size_t i) const = 0;
@@ -218,6 +239,17 @@ class JoinOperator : public Operator {
   /// before the engine starts dispatching.
   void RouteResultsTo(const std::vector<int>& sinks) override;
 
+  /// Queues `steps` 4x grow steps with the controller (kScale request via a
+  /// dedicated ingress lane, so it never races the Push producer's port).
+  /// Requires a single power-of-two group with max_expansions > 0 slot
+  /// headroom; steps beyond the allocated slots are dropped by the
+  /// controller. Returns false when the operator cannot scale at all.
+  bool GrowJoiners(uint32_t steps) override;
+
+  /// Queues `steps` /4 shrink steps (same path and requirements as
+  /// GrowJoiners; the controller refuses to shrink below 4 machines).
+  bool ShrinkJoiners(uint32_t steps) override;
+
   /// Marks this operator as a cascade stage: every reshuffler accepts
   /// kResult envelopes from an upstream stage's egress as relation `rel`
   /// inputs, keyed by result-row column `key_col` (-1 keeps the upstream
@@ -239,6 +271,9 @@ class JoinOperator : public Operator {
   /// Engine task ids of this operator's reshufflers — the ingress targets a
   /// Dataflow upstream stage wires its egress to.
   const std::vector<int>& reshuffler_ids() const { return reshuffler_ids_; }
+  /// Engine task ids of every allocated joiner slot (live or dormant) — the
+  /// filter an AutoscaleController applies to registry snapshots.
+  const std::vector<int>& joiner_task_ids() const { return joiner_ids_; }
 
   /// Joiner core at slot `i` (engine must be quiescent).
   const JoinerCore& joiner(size_t i) const override;
@@ -269,6 +304,8 @@ class JoinOperator : public Operator {
  private:
   /// Lazily opens the ingress port (threaded engines require Start first).
   IngressPort& Port();
+  /// Shared body of Grow/ShrinkJoiners: posts one signed kScale request.
+  bool PostScale(int64_t steps);
 
   Engine& engine_;
   OperatorConfig config_;
@@ -281,6 +318,11 @@ class JoinOperator : public Operator {
   uint64_t next_reshuffler_ = 0;
   std::unique_ptr<IngressPort> port_;
   IngressStager stager_;
+  // Scale requests ride their own single-producer lane: Port() belongs to
+  // the Push driver thread, while Grow/ShrinkJoiners may be called from a
+  // policy thread. scale_mu_ serializes concurrent scale callers.
+  std::mutex scale_mu_;
+  std::unique_ptr<IngressPort> scale_port_;  // guarded by scale_mu_
 };
 
 /// Content-sensitive parallel symmetric hash join (the Shj baseline of
@@ -305,6 +347,19 @@ class ShjOperator : public Operator {
   /// Routes every joiner's results to `sinks`, round-robin by joiner slot
   /// (see Operator::RouteResultsTo). Call before the engine starts.
   void RouteResultsTo(const std::vector<int>& sinks) override;
+
+  /// Always false: SHJ's content-sensitive partitioning pins each key to
+  /// one machine for the whole run, so stored state cannot be repartitioned
+  /// mid-stream — the paper's argument for the (n,m)-mapping operator.
+  bool GrowJoiners(uint32_t steps) override {
+    (void)steps;
+    return false;
+  }
+  /// Always false (see GrowJoiners).
+  bool ShrinkJoiners(uint32_t steps) override {
+    (void)steps;
+    return false;
+  }
 
   /// Joiner introspection (see Operator); engine must be quiescent.
   const JoinerCore& joiner(size_t i) const override;

@@ -71,6 +71,18 @@ GridLayout GridLayout::Expand() const {
   return out;
 }
 
+GridLayout GridLayout::Contract(Mapping to) const {
+  AJOIN_CHECK_MSG(to.J() * 4 == J(), "contraction must quarter machine count");
+  AJOIN_CHECK_MSG(IsPowerOfTwo(to.n) && IsPowerOfTwo(to.m), "dims not pow2");
+  AJOIN_CHECK_MSG(to.n <= map_.n && to.m <= map_.m,
+                  "contracted dims must fold the current dims");
+  // Survivors are renumbered onto the canonical grid: unlike Relabel, a
+  // contraction is not coordinate-preserving (the surviving quarter of the
+  // old grid has holes), so the target layout is simply Initial(to) and the
+  // MigrationPlan computes who ships which partitions to whom.
+  return Initial(to);
+}
+
 std::vector<uint32_t> GridLayout::RowMachines(uint32_t i) const {
   std::vector<uint32_t> out(map_.m);
   for (uint32_t j = 0; j < map_.m; ++j) out[j] = MachineAt(i, j);

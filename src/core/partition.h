@@ -60,6 +60,14 @@ class GridLayout {
   /// (2i+1,2j), (2i+1,2j+1).
   GridLayout Expand() const;
 
+  /// Elastic contraction to `to` with to.J() * 4 == J(): the inverse of one
+  /// expansion step. Survivors are machines [0, J/4) on the canonical
+  /// identity layout of `to` (p <-> (p / to.m, p % to.m)); machines with id
+  /// >= to.J() leave the grid. `to` must fold the current dims (to.n <= n,
+  /// to.m <= m), so every new partition is a union of old partitions and
+  /// Keep sets stay locally computable (refinement property).
+  GridLayout Contract(Mapping to) const;
+
   const Mapping& mapping() const { return map_; }
   uint32_t J() const { return map_.J(); }
   Coords CoordsOf(uint32_t machine) const {

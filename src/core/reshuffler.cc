@@ -88,6 +88,16 @@ void ReshufflerCore::OnMessage(Envelope msg, Context& ctx) {
       Broadcast(decisions, ctx);
       break;
     }
+    case MsgType::kScale: {
+      // Elastic scale request (operator facade / autoscaler): signed step
+      // count in msg.key. The controller applies one step per migration
+      // round; requests arriving mid-migration queue until the last ack.
+      AJOIN_CHECK_MSG(controller_ != nullptr, "scale request at non-controller");
+      std::vector<EpochSpec> decisions;
+      controller_->RequestScale(msg.key, &decisions);
+      Broadcast(decisions, ctx);
+      break;
+    }
     case MsgType::kEos: {
       for (const GroupRoute& g : groups_) {
         for (uint32_t p = 0; p < g.block.alloc_machines; ++p) {
@@ -269,7 +279,9 @@ void ReshufflerCore::HandleEpochChange(Envelope& msg, Context& ctx) {
   const EpochSpec& spec = msg.espec;
   GroupRoute& g = groups_[spec.group];
   AJOIN_CHECK_MSG(spec.epoch == g.epoch + 1, "epoch change out of order");
-  g.layout = spec.expansion ? g.layout.Expand() : g.layout.Relabel(spec.mapping);
+  g.layout = spec.expansion     ? g.layout.Expand()
+             : spec.contraction ? g.layout.Contract(spec.mapping)
+                                : g.layout.Relabel(spec.mapping);
   AJOIN_CHECK(g.layout.mapping() == spec.mapping);
   AJOIN_CHECK_MSG(g.layout.J() <= g.block.alloc_machines,
                   "expansion beyond allocated machine block");
@@ -279,6 +291,15 @@ void ReshufflerCore::HandleEpochChange(Envelope& msg, Context& ctx) {
   if (config_.trace != nullptr) {
     config_.trace->Record(TraceEventKind::kEpochChange, ctx.self(),
                           ctx.NowMicros(), spec.epoch, spec.group);
+    // Scale transitions get their own trace kind (one event per operator:
+    // the controller reshuffler stamps it; peers stay quiet so exported
+    // traces count grow/shrink decisions, not fan-out).
+    if (config_.is_controller && (spec.expansion || spec.contraction)) {
+      config_.trace->Record(spec.expansion ? TraceEventKind::kScaleGrow
+                                           : TraceEventKind::kScaleShrink,
+                            ctx.self(), ctx.NowMicros(), spec.epoch,
+                            g.layout.J());
+    }
   }
   // Signal every allocated machine of the group (including not-yet-active
   // expansion slots, which track the layout) before any new-epoch tuple.

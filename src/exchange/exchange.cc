@@ -69,6 +69,18 @@ void ExchangePlane::Doorbell(int consumer) {
     std::lock_guard<std::mutex> lock(inbox.sleep_mu);
     inbox.sleep_cv.notify_one();
   }
+  // Dormant consumer: the first doorbell of the episode wins the 1->2 CAS
+  // and fires the wake hook; later producers see 2 and rely on the spawn
+  // already in flight (the spawned worker drains everything and only
+  // retires after a fresh mark + HasWork recheck).
+  if (wake_hook_ != nullptr &&
+      inbox.dormant.load(std::memory_order_seq_cst) == 1) {
+    int expected = 1;
+    if (inbox.dormant.compare_exchange_strong(expected, 2,
+                                              std::memory_order_seq_cst)) {
+      wake_hook_(consumer);
+    }
+  }
 }
 
 namespace {

@@ -34,6 +34,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -209,6 +210,40 @@ class ExchangePlane {
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
+  // ---- dormant consumers (elastic scaling) ----
+  //
+  // A consumer with no worker thread (a dormant joiner slot) marks its inbox
+  // dormant; the first producer whose Doorbell observes the mark fires the
+  // wake hook exactly once per dormancy episode, and the engine spawns a
+  // worker in response. The seq_cst mark/recheck protocol mirrors the
+  // `sleeping` Dekker dance: the consumer marks dormant *then* rechecks
+  // HasWork, the producer pushes *then* checks the mark, so at least one
+  // side always notices a message that races with going dormant.
+
+  /// Installs the dormant-wake hook (called with the consumer id). Invoked
+  /// from producer threads mid-send with no plane locks held; must be cheap,
+  /// idempotent, and tolerate concurrent invocations for different
+  /// consumers. Set once before Start-time traffic; unset means dormancy is
+  /// never observed (legacy engines).
+  void SetWakeHook(std::function<void(int)> hook) {
+    wake_hook_ = std::move(hook);
+  }
+
+  /// Marks `consumer` dormant (no worker attached). Called by the engine at
+  /// start for dormant tasks and by a retiring worker *before* its final
+  /// HasWork recheck.
+  void MarkDormant(int consumer) {
+    inboxes_[static_cast<size_t>(consumer)].dormant.store(
+        1, std::memory_order_seq_cst);
+  }
+
+  /// Clears the dormant mark (a worker is attached again). Called by the
+  /// engine when it spawns/revives the consumer's worker.
+  void ClearDormant(int consumer) {
+    inboxes_[static_cast<size_t>(consumer)].dormant.store(
+        0, std::memory_order_seq_cst);
+  }
+
   /// Marks the plane closed and wakes every parked consumer/producer. Call
   /// only when quiescent (nothing buffered or in flight).
   void Close();
@@ -260,6 +295,10 @@ class ExchangePlane {
     std::vector<Edge*> edges;    // reserved up front: never reallocates
     std::atomic<size_t> n_edges{0};
     std::atomic<int> sleeping{0};
+    // 0 = worker attached, 1 = dormant (no worker), 2 = wake hook fired,
+    // engine spawn pending. Transitions: consumer 0<->1, producer 1->2
+    // (CAS, fires the hook), engine/worker 2->0 on spawn/revive.
+    std::atomic<int> dormant{0};
     std::mutex sleep_mu;
     std::condition_variable sleep_cv;
   };
@@ -286,6 +325,7 @@ class ExchangePlane {
   std::vector<std::atomic<Edge*>> edge_matrix_;  // num_producers() x num_tasks_
   std::vector<Inbox> inboxes_;
   std::vector<Outbox> outboxes_;
+  std::function<void(int)> wake_hook_;
   std::atomic<bool> closed_{false};
   Stats stats_;
 };

@@ -15,6 +15,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kExpand: return "Expand";
     case MsgType::kCheckpoint: return "Checkpoint";
     case MsgType::kResult: return "Result";
+    case MsgType::kScale: return "Scale";
   }
   return "?";
 }

@@ -29,12 +29,17 @@ enum class MsgType : uint8_t {
   kResult,        // joiner -> sink / next stage: one join result (epoch-
                   // agnostic; field use: key = join key, seq = r_seq,
                   // tag = s_seq, bytes = r+s bytes, row = r_row ++ s_row)
+  kScale,         // operator/autoscaler -> controller reshuffler: elastic
+                  // scale request; key = signed step count (+k = k grow
+                  // steps of 4x, -k = k shrink steps of /4). Control: cuts
+                  // batches and serializes behind routed data on the
+                  // ingress edge.
 };
 
 /// Number of MsgType values. Keep in lockstep with the enum above; the
 /// message tests assert MsgTypeName covers exactly this many values, so an
 /// unnamed (or uncounted) type cannot ship.
-constexpr uint8_t kNumMsgTypes = 11;
+constexpr uint8_t kNumMsgTypes = 12;
 
 const char* MsgTypeName(MsgType type);
 
@@ -44,6 +49,7 @@ struct EpochSpec {
   uint32_t epoch = 0;    // new epoch number
   Mapping mapping;       // new (n,m) mapping of that group
   bool expansion = false;  // kExpand: mapping refers to the expanded grid
+  bool contraction = false;  // elastic shrink: mapping quarters the grid
 };
 
 struct Envelope {

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/autoscale.h"
 #include "src/core/operator.h"
 #include "src/runtime/task.h"
 
@@ -132,6 +133,27 @@ class Dataflow {
   /// quiescent).
   const ResultSink& sink(int handle) const;
 
+  /// Attaches an elastic-scaling controller to join stage `handle` (see
+  /// src/core/autoscale.h): it watches the stage's joiners through the
+  /// telemetry registry (SetTelemetry first, or a config-supplied registry)
+  /// and grows/shrinks the live grid at runtime. Call after AddJoin and
+  /// before StartAutoscale; returns the controller so callers can bind an
+  /// exchange-stats source for the stall trigger.
+  AutoscaleController& SetAutoscale(
+      int handle, AutoscaleConfig config,
+      AutoscaleController::Options options = {});
+
+  /// Starts every attached autoscale controller's policy thread. Call after
+  /// Engine::Start().
+  void StartAutoscale();
+
+  /// Stops every attached autoscale controller. Call before tearing down
+  /// the engine; idempotent.
+  void StopAutoscale();
+
+  /// The controller attached to stage `handle` (must exist).
+  AutoscaleController& autoscale(int handle);
+
   /// Flushes staged input on every join stage (call before WaitQuiescent).
   void FlushInput();
 
@@ -147,6 +169,8 @@ class Dataflow {
     std::unique_ptr<JoinOperator> op;  // null for sink stages
     ResultSink* sink = nullptr;        // owned by the engine
     int sink_task = -1;
+    MetricsRegistry* registry = nullptr;  // effective registry for the stage
+    std::unique_ptr<AutoscaleController> autoscale;
     bool connected_out = false;
     bool connected_in = false;  // join stages: at most one result edge in
   };

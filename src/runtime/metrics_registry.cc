@@ -176,6 +176,7 @@ void AppendTask(std::string* out, const TaskSnapshot& task) {
     AppendKv(out, "epoch", static_cast<uint64_t>(j.epoch), &first);
     AppendKv(out, "migrating", static_cast<uint64_t>(j.migrating ? 1 : 0),
              &first);
+    AppendKv(out, "active", static_cast<uint64_t>(j.active ? 1 : 0), &first);
   } else {
     const ReshufflerSnapshot& r = task.reshuffler;
     AppendKv(out, "routed_tuples", r.routed_tuples, &first);

@@ -104,6 +104,8 @@ struct JoinerSnapshot {
   double latency_sum_us = 0;     // sum of those samples (mean = sum/count)
   uint32_t epoch = 0;            // partitioning epoch the joiner is in
   bool migrating = false;        // mid-migration right now?
+  bool active = false;           // inside the group's live grid (elastic
+                                 // scaling tombstones retirees in place)
 };
 
 /// Consistent copy of one reshuffler's counters.
@@ -130,11 +132,15 @@ class TaskTelemetry {
  public:
   /// Payload width in words (shared by both task kinds; the wider joiner
   /// layout sets the size).
-  static constexpr size_t kWords = 17;
+  static constexpr size_t kWords = 18;
 
-  /// Publishes a joiner's counters plus epoch / migration state. Call from
+  /// Publishes a joiner's counters plus epoch / migration / participation
+  /// state. `active` is whether the joiner is inside its group's live grid —
+  /// elastic scaling flips it at activation/retirement so exports can
+  /// tombstone retired slots instead of dropping their counters. Call from
   /// the owning task's thread only.
-  void PublishJoiner(const JoinerMetrics& m, uint32_t epoch, bool migrating) {
+  void PublishJoiner(const JoinerMetrics& m, uint32_t epoch, bool migrating,
+                     bool active) {
     uint64_t w[kWords];
     w[0] = m.in_tuples;
     w[1] = m.in_bytes;
@@ -154,6 +160,7 @@ class TaskTelemetry {
     std::memcpy(&w[14], &sum, sizeof(sum));
     w[15] = epoch;
     w[16] = migrating ? 1 : 0;
+    w[17] = active ? 1 : 0;
     cell_.Publish(w);
   }
 
@@ -193,6 +200,7 @@ class TaskTelemetry {
     std::memcpy(&s.latency_sum_us, &w[14], sizeof(s.latency_sum_us));
     s.epoch = static_cast<uint32_t>(w[15]);
     s.migrating = w[16] != 0;
+    s.active = w[17] != 0;
     return s;
   }
 

@@ -153,17 +153,104 @@ void ThreadEngine::Start() {
   if (mode_ == ExchangeMode::kBatched) {
     plane_ =
         std::make_unique<ExchangePlane>(tasks_.size(), exchange_config_);
+    plane_->SetWakeHook([this](int id) { WakeTask(id); });
   }
-  workers_.reserve(tasks_.size());
+  worker_slots_ = std::vector<WorkerSlot>(tasks_.size());
+  std::lock_guard<std::mutex> lock(workers_mu_);
   for (size_t i = 0; i < tasks_.size(); ++i) {
-    workers_.emplace_back([this, i] {
-      if (mode_ == ExchangeMode::kBatched) {
-        WorkerLoop(static_cast<int>(i));
-      } else {
-        LegacyWorkerLoop(static_cast<int>(i));
-      }
-    });
+    // Dormant tasks (elastic-scaling spare slots) get no thread up front;
+    // the plane's dormant-wake hook spawns one on their first message.
+    // Legacy mode ignores dormancy: every task gets a permanent worker.
+    if (mode_ == ExchangeMode::kBatched && tasks_[i]->dormant()) {
+      plane_->MarkDormant(static_cast<int>(i));
+      continue;
+    }
+    SpawnWorkerLocked(static_cast<int>(i));
   }
+}
+
+void ThreadEngine::SpawnWorkerLocked(int id) {
+  WorkerSlot& slot = worker_slots_[static_cast<size_t>(id)];
+  if (slot.thread.joinable()) slot.thread.join();  // reap a kExited thread
+  slot.state = WorkerState::kRunning;
+  slot.wake_pending = false;
+  if (plane_ != nullptr) plane_->ClearDormant(id);
+  activations_.fetch_add(1, std::memory_order_relaxed);
+  slot.thread = std::thread([this, id] {
+    if (mode_ == ExchangeMode::kBatched) {
+      WorkerLoop(id);
+    } else {
+      LegacyWorkerLoop(id);
+    }
+  });
+}
+
+void ThreadEngine::WakeTask(int id) {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  // Refusing during shutdown is safe: a message that still needs this task
+  // keeps inflight > 0, so Shutdown's WaitQuiescent cannot have passed, so
+  // closing_ cannot be set yet.
+  if (closing_) return;
+  WorkerSlot& slot = worker_slots_[static_cast<size_t>(id)];
+  switch (slot.state) {
+    case WorkerState::kRunning:
+      return;  // already attached (or a concurrent wake won)
+    case WorkerState::kExiting:
+      slot.wake_pending = true;  // the exiting worker revives itself
+      return;
+    case WorkerState::kExited:
+    case WorkerState::kUnspawned:
+      SpawnWorkerLocked(id);
+      return;
+  }
+}
+
+void ThreadEngine::ActivateTask(int id) {
+  AJOIN_CHECK_MSG(id >= 0 && id < static_cast<int>(tasks_.size()),
+                  "ActivateTask: unknown task");
+  if (mode_ != ExchangeMode::kBatched || plane_ == nullptr) return;
+  WakeTask(id);
+}
+
+size_t ThreadEngine::live_workers() const {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  size_t n = 0;
+  for (const WorkerSlot& slot : worker_slots_) {
+    if (slot.state == WorkerState::kRunning ||
+        slot.state == WorkerState::kExiting) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool ThreadEngine::RetireWorker(int id) {
+  WorkerSlot& slot = worker_slots_[static_cast<size_t>(id)];
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    slot.state = WorkerState::kExiting;
+  }
+  plane_->MarkDormant(id);
+  // Dekker recheck, mirroring WaitForWork's sleeping protocol: a producer
+  // that pushed before observing the dormant mark rings no wake hook, so
+  // its message must be caught here, after the seq_cst mark.
+  if (plane_->HasWork(id) || plane_->closed()) {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    slot.state = WorkerState::kRunning;
+    slot.wake_pending = false;
+    plane_->ClearDormant(id);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  if (slot.wake_pending) {  // a wake hook fired between mark and here
+    slot.state = WorkerState::kRunning;
+    slot.wake_pending = false;
+    plane_->ClearDormant(id);
+    return false;
+  }
+  slot.state = WorkerState::kExited;
+  retirements_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 std::unique_ptr<IngressPort> ThreadEngine::OpenIngress(int to) {
@@ -356,6 +443,12 @@ void ThreadEngine::WorkerLoop(int id) {
     outbox->FlushAll();
     if (plane_->HasWork(id)) continue;
     if (plane_->closed()) return;
+    if (task->dormant()) {
+      // Dormant slot with a dry inbox: give the thread back (elastic
+      // scaling). RetireWorker revives instead when a message raced in.
+      if (RetireWorker(id)) return;
+      continue;
+    }
     plane_->WaitForWork(id);
   }
 }
@@ -429,12 +522,27 @@ void ThreadEngine::Shutdown() {
   // The flag is up before the final drain, so ports and the Post shim start
   // rejecting while everything already accepted still gets processed.
   WaitQuiescent();
+  {
+    // Quiescent: every accepted message is processed, so any wake hook
+    // still in flight is spurious — refuse further spawns, then close.
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    closing_ = true;
+  }
   if (mode_ == ExchangeMode::kBatched) {
     plane_->Close();
   } else {
     for (auto& channel : channels_) channel->Close();
   }
-  for (auto& worker : workers_) worker.join();
+  for (WorkerSlot& slot : worker_slots_) {
+    std::thread t;
+    {
+      // Spawns hold workers_mu_ and check closing_, so after this point the
+      // handle cannot be replaced behind our back.
+      std::lock_guard<std::mutex> lock(workers_mu_);
+      t = std::move(slot.thread);
+    }
+    if (t.joinable()) t.join();
+  }
 }
 
 ExchangeStatsSnapshot ThreadEngine::exchange_stats() const {

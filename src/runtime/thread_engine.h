@@ -85,13 +85,54 @@ class ThreadEngine : public Engine {
   /// edge source.
   std::vector<EdgeStatsSnapshot> edge_stats() const;
 
+  /// Eagerly attaches a worker to task `id` if it is currently parked
+  /// dormant (see Task::dormant). Batched mode only (legacy mode gives
+  /// every task a permanent worker); callable from any thread between
+  /// Start() and Shutdown(). Redundant calls are no-ops — the same state
+  /// machine also runs from the exchange plane's dormant-wake hook, so a
+  /// message racing this call cannot double-spawn.
+  void ActivateTask(int id) override;
+
+  /// Worker threads currently attached (running or winding down). Equals
+  /// num_tasks() in legacy mode; in batched mode dormant slots have none.
+  size_t live_workers() const;
+  /// Cumulative worker spawns (including Start-time ones) — grows by one
+  /// every time a dormant slot is woken. Test/telemetry accessor.
+  uint64_t worker_activations() const {
+    return activations_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative dormant self-retirements of workers. Test/telemetry
+  /// accessor.
+  uint64_t worker_retirements() const {
+    return retirements_.load(std::memory_order_relaxed);
+  }
+
  private:
   class BatchedContext;
   class LegacyContext;
   class PortImpl;
 
+  /// Worker attachment lifecycle of one task slot (guarded by workers_mu_).
+  /// kUnspawned -> kRunning (Start or first wake); kRunning -> kExiting ->
+  /// kExited (dormant self-retirement) or back to kRunning (revived by a
+  /// racing message); kExited -> kRunning (join + respawn on wake).
+  enum class WorkerState : uint8_t { kUnspawned, kRunning, kExiting, kExited };
+  struct WorkerSlot {
+    std::thread thread;
+    WorkerState state = WorkerState::kUnspawned;
+    bool wake_pending = false;  // wake arrived while the worker was exiting
+  };
+
   void WorkerLoop(int id);
   void LegacyWorkerLoop(int id);
+  /// Spawns (or respawns) task `id`'s worker. Caller holds workers_mu_.
+  void SpawnWorkerLocked(int id);
+  /// The dormant-wake state machine (doorbell hook + ActivateTask).
+  void WakeTask(int id);
+  /// Dormant self-retirement attempt: marks the inbox dormant, re-checks
+  /// for racing messages, and either detaches this worker (true — the
+  /// caller must return) or revives it (false — keep looping).
+  bool RetireWorker(int id);
   void IncInflight(uint64_t n = 1);
   void DecInflight(uint64_t n = 1);
 
@@ -109,7 +150,11 @@ class ThreadEngine : public Engine {
   size_t max_inflight_ = 1 << 16;  // legacy mode only
 
   std::vector<std::unique_ptr<Task>> tasks_;
-  std::vector<std::thread> workers_;
+  mutable std::mutex workers_mu_;      // worker slot states + closing_
+  std::vector<WorkerSlot> worker_slots_;
+  bool closing_ = false;               // Shutdown: refuse new spawns
+  std::atomic<uint64_t> activations_{0};
+  std::atomic<uint64_t> retirements_{0};
   std::atomic<uint64_t> inflight_{0};
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;

@@ -199,9 +199,11 @@ TEST(Controller, ElasticityTriggersExpansion) {
       }
     }
     if (!out.empty()) {
-      uint32_t machines = ctrl.current_mapping(0).J();
+      // Every allocated slot acks (dormant trackers included), so the
+      // driver acks the full allocation, not just the current grid.
+      uint32_t alloc = 4u << (2 * cfg.max_expansions);
       out.clear();
-      AckAll(ctrl, 0, machines, &out);
+      AckAll(ctrl, 0, alloc, &out);
       out.clear();
     }
   }

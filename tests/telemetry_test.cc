@@ -151,7 +151,7 @@ TEST(TelemetrySampler, SeriesRingAndJsonExport) {
   m.in_tuples = 7;
   m.output_tuples = 3;
   m.stored_tuples = 4;
-  cell->PublishJoiner(m, /*epoch=*/2, /*migrating=*/false);
+  cell->PublishJoiner(m, /*epoch=*/2, /*migrating=*/false, /*active=*/true);
 
   TelemetrySampler::Options opts;
   opts.period_us = 1000;

@@ -20,6 +20,8 @@ Checks:
   * every trace event: index, a known kind, task, t_us, a, b
   * --require-edges: at least one sample must carry a non-empty edges array
     (threaded exports; sim-engine exports have no exchange plane)
+  * --require-scale-events: the trace must carry at least one scale_grow and
+    one scale_shrink event (elastic-autoscaling smoke runs)
 
 Exit code 0 = valid; 1 = findings (printed one per line).
 """
@@ -35,7 +37,7 @@ JOINER_KEYS = ("in_tuples", "in_bytes", "probe_candidates", "output_tuples",
                "mig_out_tuples", "mig_in_tuples", "discarded_tuples",
                "migrations_finalized", "stored_tuples", "stored_bytes",
                "peak_stored_bytes", "latency_count", "latency_sum_us",
-               "epoch", "migrating")
+               "epoch", "migrating", "active")
 RESHUFFLER_KEYS = ("routed_tuples", "sent_msgs", "sent_bytes",
                    "epoch_changes", "results_restamped")
 EDGE_KEYS = ("producer", "consumer", "bounded", "batches", "envelopes",
@@ -43,7 +45,7 @@ EDGE_KEYS = ("producer", "consumer", "bounded", "batches", "envelopes",
              "ring_occupancy", "ring_peak", "ring_capacity", "overflow_depth")
 MONOTONE_JOINER_KEYS = ("in_tuples", "output_tuples", "migrations_finalized")
 TRACE_KINDS = ("epoch_change", "migration_begin", "migration_finalize",
-               "credit_stall")
+               "credit_stall", "scale_grow", "scale_shrink")
 
 
 def require(errors, cond, msg):
@@ -101,6 +103,9 @@ def main():
     parser.add_argument("path", help="TelemetrySampler::WriteJson output")
     parser.add_argument("--require-edges", action="store_true",
                         help="fail unless some sample has per-edge stats")
+    parser.add_argument("--require-scale-events", action="store_true",
+                        help="fail unless the trace has at least one "
+                             "scale_grow and one scale_shrink event")
     args = parser.parse_args()
 
     errors = []
@@ -152,6 +157,13 @@ def main():
         require(errors,
                 any(sample.get("edges") for sample in samples),
                 "--require-edges: no sample carries per-edge stats")
+
+    if args.require_scale_events:
+        kinds = {event.get("kind") for event in trace}
+        require(errors, "scale_grow" in kinds,
+                "--require-scale-events: no scale_grow trace event")
+        require(errors, "scale_shrink" in kinds,
+                "--require-scale-events: no scale_shrink trace event")
 
     for error in errors:
         print(error)
