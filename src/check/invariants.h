@@ -1,0 +1,72 @@
+// Reusable protocol invariants for model-check tests, built on ModelAssert
+// so a violation aborts the execution with a replayable schedule. They also
+// work outside the model (ModelAssert aborts the process), so plain stress
+// tests can share them.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/check/model.h"
+
+namespace ajoin::check {
+
+/// Per-edge FIFO invariant: consumed sequence numbers must be exactly
+/// 0, 1, 2, ... with no gap, duplicate, or reorder. One checker per edge;
+/// feed it every consumed element in consumption order.
+class FifoChecker {
+ public:
+  /// Asserts `seq` is the next expected sequence number and advances.
+  void OnReceive(uint64_t seq) {
+    ModelAssert(seq == next_,
+                "per-edge FIFO violated: received seq " + std::to_string(seq) +
+                    ", expected " + std::to_string(next_));
+    next_++;
+  }
+
+  /// How many in-order elements were received so far.
+  uint64_t received() const { return next_; }
+
+ private:
+  uint64_t next_ = 0;
+};
+
+/// Seqlock torn-read invariant: every observed payload must be byte-for-byte
+/// one of the *published* generations (or the initial all-zero payload) —
+/// a mix of two generations is a torn read. The writer registers each
+/// generation right before publishing it; readers check every snapshot.
+class TornReadChecker {
+ public:
+  /// Registers a generation the writer is about to publish.
+  void Published(std::vector<uint64_t> generation) {
+    generations_.push_back(std::move(generation));
+  }
+
+  /// Asserts `words[0..n)` equals the initial zero payload or one published
+  /// generation exactly.
+  void Observed(const uint64_t* words, size_t n) const {
+    bool all_zero = true;
+    for (size_t i = 0; i < n; ++i) all_zero = all_zero && words[i] == 0;
+    if (all_zero) return;
+    for (const std::vector<uint64_t>& gen : generations_) {
+      if (gen.size() != n) continue;
+      bool match = true;
+      for (size_t i = 0; i < n; ++i) match = match && gen[i] == words[i];
+      if (match) return;
+    }
+    std::string got;
+    for (size_t i = 0; i < n; ++i) {
+      if (i != 0) got += ",";
+      got += std::to_string(words[i]);
+    }
+    ModelAssert(false, "torn read: observed payload [" + got +
+                           "] matches no published generation");
+  }
+
+ private:
+  std::vector<std::vector<uint64_t>> generations_;
+};
+
+}  // namespace ajoin::check

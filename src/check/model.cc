@@ -1,0 +1,945 @@
+#include "src/check/model.h"
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+namespace ajoin::check {
+namespace {
+
+// Hard cap on virtual threads per execution (body + spawned workers).
+constexpr int kMaxThreads = 8;
+// A thread that re-reads the same stale store this many times in a row is
+// forced to the newest one (eventual visibility: keeps spin loops live and
+// the exhaustive search finite).
+constexpr int kMaxSameReads = 3;
+// Staleness window: a load chooses among at most this many newest stores
+// (newest + one stale — a finite store buffer). One stale candidate is
+// enough to manifest any single missing release/acquire edge, and the
+// window is THE branching multiplier of exhaustive search: width 4 makes a
+// 3-op-per-thread SPSC scenario ~50x more expensive to exhaust.
+constexpr size_t kStaleWindow = 2;
+// A thread that loads the same (location, store) this many times in a row is
+// spinning; the scheduler then forces it to yield (uncharged against the
+// preemption budget) so spin loops stay fair and the search stays finite.
+constexpr int kSpinYield = 4;
+
+// Vector clock over virtual-thread ids.
+struct VClock {
+  std::array<uint64_t, kMaxThreads> v{};
+
+  void Join(const VClock& o) {
+    for (int i = 0; i < kMaxThreads; ++i) v[i] = std::max(v[i], o.v[i]);
+  }
+  bool Covers(int tid, uint64_t tick) const {
+    return v[static_cast<size_t>(tid)] >= tick;
+  }
+};
+
+// Thrown to unwind a virtual thread when the execution failed, deadlocked,
+// or hit the step cap; caught at each virtual thread's top level.
+struct AbortExecution {};
+
+// One entry in an atomic location's modification order.
+struct StoreRecord {
+  uint64_t value = 0;
+  int writer = -1;  // -1 = initial value (happens-before everything)
+  uint64_t writer_tick = 0;
+  VClock release;  // release metadata (store/fence clock); see has_release
+  bool has_release = false;
+};
+
+// Model state of one atomic location.
+struct AtomicLoc {
+  std::vector<StoreRecord> history;  // modification order, oldest first
+  std::array<size_t, kMaxThreads> floor{};      // per-thread coherence floor
+  std::array<size_t, kMaxThreads> last_read{};  // per-thread last index read
+  std::array<int, kMaxThreads> same_reads{};    // consecutive stale re-reads
+};
+
+// Race-detector state of one plain (non-atomic) location.
+struct PlainLoc {
+  int last_writer = -1;
+  uint64_t last_write_tick = 0;
+  const char* last_what = "";
+  std::array<uint64_t, kMaxThreads> read_tick{};  // 0 = none since last write
+};
+
+bool IsAcquire(std::memory_order mo) {
+  return mo == std::memory_order_acquire || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst || mo == std::memory_order_consume;
+}
+bool IsRelease(std::memory_order mo) {
+  return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+struct ThreadState {
+  int id = 0;
+  std::thread thread;  // empty for the body thread (id 0)
+  std::function<void()> fn;
+  enum class Status { kRunnable, kBlocked, kFinished };
+  Status status = Status::kRunnable;
+  VClock clock;
+  VClock fence_release;  // clock at the last release fence
+  bool has_fence_release = false;
+  VClock pending_acquire;  // release clocks picked up by relaxed loads
+  bool has_pending_acquire = false;
+  const char* blocked_on = "";
+  double priority = 0;  // PCT
+  // Spin detection: consecutive loads of the same store at the same location.
+  const void* spin_loc = nullptr;
+  size_t spin_idx = 0;
+  int spin_count = 0;
+  // Deadlock freshness retry: force_newest makes every load return the
+  // newest store (granted once per blocking episode before declaring
+  // deadlock); blocked_fresh records that the thread re-blocked even under
+  // that freshest view.
+  bool force_newest = false;
+  bool blocked_fresh = false;
+  // Cooperative token: a thread runs only while it holds it.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool token = false;
+};
+
+class Execution;
+thread_local Execution* tls_exec = nullptr;
+thread_local int tls_tid = -1;
+
+std::atomic<uint32_t> g_mutations{0};
+bool g_explore_active = false;  // Explore is not reentrant
+
+// One execution of the body under one schedule. All model state is mutated
+// only by the token-holding thread, so none of it needs locking.
+class Execution {
+ public:
+  enum class SearchMode { kExhaustive, kPct, kReplay };
+
+  Execution(SearchMode mode, const ExploreOptions& opts,
+            std::vector<uint32_t> prefix, uint64_t pct_seed)
+      : mode_(mode), opts_(opts), prefix_(std::move(prefix)), rng_(pct_seed) {}
+
+  void Run(const std::function<void()>& body) {
+    auto main_state = std::make_unique<ThreadState>();
+    main_state->id = 0;
+    main_state->clock.v[0] = 1;
+    if (mode_ == SearchMode::kPct) main_state->priority = DrawPriority();
+    threads_.push_back(std::move(main_state));
+    if (mode_ == SearchMode::kPct) DrawChangePoints();
+    current_ = 0;
+    tls_exec = this;
+    tls_tid = 0;
+    try {
+      body();
+      JoinAllImpl();
+    } catch (AbortExecution&) {
+    }
+    // Drain: after a failure/cap, workers may still be parked mid-schedule.
+    // Hand each the token in turn; they throw at their next model operation
+    // (or finish naturally) and hand it back.
+    while (AliveWorkers() > 0) {
+      for (auto& t : threads_) {
+        if (t->id != 0 && t->status != ThreadState::Status::kFinished) {
+          try {
+            Yield(t->id);
+          } catch (AbortExecution&) {
+          }
+          break;
+        }
+      }
+    }
+    for (auto& t : threads_) {
+      if (t->thread.joinable()) t->thread.join();
+    }
+    tls_exec = nullptr;
+    tls_tid = -1;
+  }
+
+  // ---- results ----
+  bool failed() const { return failed_; }
+  bool deadlock() const { return deadlock_; }
+  bool capped() const { return capped_; }
+  const std::string& message() const { return message_; }
+  const std::vector<uint32_t>& trace() const { return trace_; }
+
+  // Computes the DFS successor prefix of this execution; false = subtree
+  // exhausted.
+  bool NextPrefix(std::vector<uint32_t>* out) const {
+    for (size_t i = points_.size(); i-- > 0;) {
+      if (points_[i].chosen + 1 < points_[i].options) {
+        out->assign(trace_.begin(),
+                    trace_.begin() + static_cast<ptrdiff_t>(i));
+        out->push_back(points_[i].chosen + 1);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // ---- virtual threads ----
+
+  void SpawnImpl(std::function<void()> fn) {
+    FailIf(threads_.size() >= kMaxThreads,
+           "Spawn: too many virtual threads (max 8)");
+    ThreadState& me = *threads_[static_cast<size_t>(current_)];
+    me.clock.v[static_cast<size_t>(me.id)]++;  // spawn edge ticks the parent
+    auto ts = std::make_unique<ThreadState>();
+    ts->id = static_cast<int>(threads_.size());
+    ts->clock = me.clock;  // child starts with the parent's clock (HB edge)
+    ts->clock.v[static_cast<size_t>(ts->id)] = 1;
+    ts->fn = std::move(fn);
+    if (mode_ == SearchMode::kPct) ts->priority = DrawPriority();
+    ThreadState* raw = ts.get();
+    threads_.push_back(std::move(ts));
+    raw->thread = std::thread([this, raw] { WorkerMain(raw); });
+    Pause("spawn");  // the new thread is immediately schedulable
+  }
+
+  void JoinAllImpl() {
+    while (AliveWorkers() > 0) BlockedImpl("join-all");
+    ThreadState& me = *threads_[static_cast<size_t>(current_)];
+    for (auto& t : threads_) {
+      if (t->id != 0) me.clock.Join(t->clock);  // join edges
+    }
+  }
+
+  // ---- scheduling ----
+
+  void Pause(const char* what) {
+    Step(what);
+    ScheduleNext(/*self_runnable=*/true);
+  }
+
+  void BlockedImpl(const char* what) {
+    Step(what);
+    ThreadState& me = *threads_[static_cast<size_t>(current_)];
+    // Re-blocking while force_newest is set means even the freshest view
+    // could not make progress: a genuine deadlock candidate.
+    me.blocked_fresh = me.force_newest;
+    ResetSpin(me);
+    me.status = ThreadState::Status::kBlocked;
+    me.blocked_on = what;
+    ScheduleNext(/*self_runnable=*/false);
+    // Back runnable: a writer or a finishing thread woke us.
+    me.blocked_on = "";
+  }
+
+  // ---- memory model ----
+
+  uint64_t Load(const void* loc, uint64_t fallback, std::memory_order mo) {
+    Pause("atomic-load");
+    ThreadState& me = *threads_[static_cast<size_t>(current_)];
+    AtomicLoc& l = GetAtomic(loc, fallback);
+    const size_t me_id = static_cast<size_t>(me.id);
+    const size_t hi = l.history.size() - 1;
+    // Newest store that happens-before this thread: anything older is
+    // forbidden (it would have been overwritten in every valid execution).
+    size_t lo = 0;
+    for (size_t j = hi;; --j) {
+      const StoreRecord& r = l.history[j];
+      if (r.writer < 0 || me.clock.Covers(r.writer, r.writer_tick)) {
+        lo = j;
+        break;
+      }
+      if (j == 0) break;
+    }
+    lo = std::max(lo, l.floor[me_id]);  // coherence: never read backwards
+    if (me.force_newest) lo = hi;       // deadlock freshness retry
+    size_t idx = hi;
+    if (lo < hi && l.same_reads[me_id] < kMaxSameReads &&
+        stales_ < opts_.stale_bound) {
+      size_t lo_w = lo;
+      if (hi - lo_w + 1 > kStaleWindow) lo_w = hi - kStaleWindow + 1;
+      // Enumerated newest-first so the first DFS execution behaves
+      // sequentially consistently.
+      const uint32_t c = ValueChoice(static_cast<uint32_t>(hi - lo_w + 1));
+      idx = hi - c;
+      if (idx != hi) stales_++;
+    }
+    if (idx != hi && idx == l.last_read[me_id]) {
+      l.same_reads[me_id]++;
+    } else {
+      l.same_reads[me_id] = 0;
+    }
+    l.last_read[me_id] = idx;
+    l.floor[me_id] = idx;
+    if (loc == me.spin_loc && idx == me.spin_idx) {
+      me.spin_count++;
+    } else {
+      me.spin_loc = loc;
+      me.spin_idx = idx;
+      me.spin_count = 0;
+    }
+    const StoreRecord& r = l.history[idx];
+    if (r.has_release) {
+      if (IsAcquire(mo)) {
+        me.clock.Join(r.release);
+      } else {
+        me.pending_acquire.Join(r.release);
+        me.has_pending_acquire = true;
+      }
+    }
+    return r.value;
+  }
+
+  void Store(const void* loc, uint64_t fallback, uint64_t value,
+             std::memory_order mo) {
+    Pause("atomic-store");
+    ThreadState& me = *threads_[static_cast<size_t>(current_)];
+    ResetSpin(me);
+    AtomicLoc& l = GetAtomic(loc, fallback);
+    l.history.push_back(MakeStore(me, value, mo, /*carry=*/nullptr));
+    l.floor[static_cast<size_t>(me.id)] = l.history.size() - 1;
+    WakeBlocked();
+  }
+
+  uint64_t Rmw(const void* loc, uint64_t fallback, std::memory_order mo,
+               const std::function<uint64_t(uint64_t)>& op) {
+    Pause("atomic-rmw");
+    ThreadState& me = *threads_[static_cast<size_t>(current_)];
+    ResetSpin(me);
+    AtomicLoc& l = GetAtomic(loc, fallback);
+    // RMWs read the newest store (atomicity) and continue its release
+    // sequence.
+    const StoreRecord cur = l.history.back();
+    AcquireSide(me, cur, mo);
+    l.history.push_back(MakeStore(me, op(cur.value), mo, &cur));
+    l.floor[static_cast<size_t>(me.id)] = l.history.size() - 1;
+    WakeBlocked();
+    return cur.value;
+  }
+
+  bool Cas(const void* loc, uint64_t fallback, uint64_t expected,
+           uint64_t desired, std::memory_order mo, uint64_t* actual) {
+    Pause("atomic-cas");
+    ThreadState& me = *threads_[static_cast<size_t>(current_)];
+    ResetSpin(me);
+    AtomicLoc& l = GetAtomic(loc, fallback);
+    const StoreRecord cur = l.history.back();
+    AcquireSide(me, cur, mo);
+    l.floor[static_cast<size_t>(me.id)] = l.history.size() - 1;
+    *actual = cur.value;
+    if (cur.value != expected) return false;
+    l.history.push_back(MakeStore(me, desired, mo, &cur));
+    l.floor[static_cast<size_t>(me.id)] = l.history.size() - 1;
+    WakeBlocked();
+    return true;
+  }
+
+  void FenceImpl(std::memory_order mo) {
+    Pause("fence");
+    ThreadState& me = *threads_[static_cast<size_t>(current_)];
+    if (IsRelease(mo)) {
+      me.fence_release = me.clock;
+      me.has_fence_release = true;
+    }
+    if (IsAcquire(mo) && me.has_pending_acquire) {
+      me.clock.Join(me.pending_acquire);
+    }
+  }
+
+  void PWrite(const void* loc, const char* what) {
+    Pause("plain-write");
+    ThreadState& me = *threads_[static_cast<size_t>(current_)];
+    ResetSpin(me);
+    PlainLoc& p = plains_[loc];
+    CheckWriteOrdered(me, p, what);
+    for (int t = 0; t < kMaxThreads; ++t) {
+      const uint64_t rt = p.read_tick[static_cast<size_t>(t)];
+      if (rt != 0 && t != me.id && !me.clock.Covers(t, rt)) {
+        Race(what, "a concurrent plain read");
+      }
+    }
+    p.last_writer = me.id;
+    p.last_write_tick = me.clock.v[static_cast<size_t>(me.id)];
+    p.last_what = what;
+    p.read_tick.fill(0);
+    WakeBlocked();
+  }
+
+  void PRead(const void* loc, const char* what) {
+    Pause("plain-read");
+    ThreadState& me = *threads_[static_cast<size_t>(current_)];
+    PlainLoc& p = plains_[loc];
+    CheckWriteOrdered(me, p, what);
+    p.read_tick[static_cast<size_t>(me.id)] =
+        me.clock.v[static_cast<size_t>(me.id)];
+  }
+
+  // ---- failure reporting ----
+
+  void Fail(const std::string& message) {
+    if (!failed_) {
+      failed_ = true;
+      message_ = message;
+    }
+    throw AbortExecution{};
+  }
+
+  void FailIf(bool cond, const std::string& message) {
+    if (cond) Fail(message);
+  }
+
+  // ---- credit ledger ----
+
+  void OnLedgerPush(const void* edge) {
+    ledger_[edge].pushes++;
+    totals_.pushes++;
+  }
+
+  void OnLedgerPop(const void* edge) {
+    LedgerTotals& e = ledger_[edge];
+    e.pops++;
+    totals_.pops++;
+    FailIf(e.pops > e.pushes,
+           "credit ledger: edge popped more batches than were pushed "
+           "(occupancy went negative)");
+  }
+
+  void OnLedgerBlock(int producer, int consumer, size_t num_tasks) {
+    totals_.blocks++;
+    const bool external = producer >= static_cast<int>(num_tasks);
+    FailIf(!external && producer >= consumer,
+           "lock-order violation: a blocking credit wait on an edge against "
+           "task-id order (producer " + std::to_string(producer) +
+               " -> consumer " + std::to_string(consumer) +
+               ") could close a wait-for cycle");
+  }
+
+  LedgerTotals Totals() const { return totals_; }
+
+ private:
+  struct ChoicePoint {
+    uint32_t chosen;
+    uint32_t options;
+  };
+
+  void Step(const char* what) {
+    if (failed_ || capped_) throw AbortExecution{};
+    if (++steps_ > opts_.max_steps) {
+      capped_ = true;
+      (void)what;
+      throw AbortExecution{};
+    }
+    ThreadState& me = *threads_[static_cast<size_t>(current_)];
+    me.clock.v[static_cast<size_t>(me.id)]++;
+  }
+
+  // Picks and switches to the next thread. `self_runnable` is false when
+  // the current thread just blocked (a forced switch, never a preemption).
+  void ScheduleNext(bool self_runnable) {
+    sched_steps_++;
+    ThreadState& me = *threads_[static_cast<size_t>(current_)];
+    if (mode_ == SearchMode::kPct && !change_points_.empty() &&
+        sched_steps_ == change_points_.back()) {
+      change_points_.pop_back();
+      me.priority = next_low_priority_;
+      next_low_priority_ -= 1.0;
+    }
+    // A spinning thread must hand the cpu over (uncharged) or the
+    // continue-current-first search would ride every spin loop to the step
+    // cap.
+    const bool spin_yield = self_runnable && me.spin_count >= kSpinYield;
+    int options[kMaxThreads];
+    uint32_t n = 0;
+    if (self_runnable && !spin_yield) options[n++] = current_;
+    const bool budget_left = mode_ != SearchMode::kExhaustive ||
+                             preemptions_ < opts_.preemption_bound;
+    if (!self_runnable || spin_yield || budget_left) {
+      for (auto& t : threads_) {
+        if (t->id != current_ &&
+            t->status == ThreadState::Status::kRunnable) {
+          options[n++] = t->id;
+        }
+      }
+    }
+    if (n == 0) {
+      if (spin_yield) {
+        // Nobody to yield to: let the spinner keep going (it will block,
+        // exit the loop, or hit the step cap on its own).
+        options[n++] = current_;
+      } else if (TryFreshWake()) {
+        // A blocked thread may be blocked on a *stale* view; before calling
+        // deadlock, give each one forced-fresh re-check (possibly including
+        // the current thread).
+        for (auto& t : threads_) {
+          if (t->status == ThreadState::Status::kRunnable) {
+            options[n++] = t->id;
+          }
+        }
+      } else {
+        Deadlock();
+        return;  // unreachable (Deadlock throws)
+      }
+    }
+    uint32_t c = 0;
+    if (n > 1) {
+      if (mode_ == SearchMode::kPct) {
+        double best = -1e300;
+        for (uint32_t i = 0; i < n; ++i) {
+          const double pr =
+              threads_[static_cast<size_t>(options[i])]->priority;
+          if (pr > best) {
+            best = pr;
+            c = i;
+          }
+        }
+        c = RecordChoice(c, n);
+      } else {
+        c = NextChoice(n);
+      }
+    }
+    const int next = options[c];
+    if (self_runnable && !spin_yield && next != current_) preemptions_++;
+    if (next != current_) Yield(next);
+  }
+
+  // All live threads are blocked: no schedule can make progress.
+  void Deadlock() {
+    std::ostringstream os;
+    os << "deadlock: every live virtual thread is blocked (";
+    bool first = true;
+    for (auto& t : threads_) {
+      if (t->status == ThreadState::Status::kBlocked) {
+        if (!first) os << ", ";
+        os << "thread " << t->id << " on " << t->blocked_on;
+        first = false;
+      }
+    }
+    os << ")";
+    deadlock_ = true;
+    Fail(os.str());
+  }
+
+  // Hands the token to `next` and waits for it back; rethrows abort on
+  // return so an unwinding execution drains quickly.
+  void Yield(int next) {
+    ThreadState& me = *threads_[static_cast<size_t>(current_)];
+    ThreadState& nx = *threads_[static_cast<size_t>(next)];
+    current_ = next;
+    {
+      std::lock_guard<std::mutex> lk(nx.mu);
+      nx.token = true;
+    }
+    nx.cv.notify_one();
+    {
+      std::unique_lock<std::mutex> lk(me.mu);
+      me.cv.wait(lk, [&me] { return me.token; });
+      me.token = false;
+    }
+    if (failed_ || capped_) throw AbortExecution{};
+  }
+
+  // Hands the token off without waiting (the current thread is finishing).
+  void HandOff(int next) {
+    ThreadState& nx = *threads_[static_cast<size_t>(next)];
+    current_ = next;
+    {
+      std::lock_guard<std::mutex> lk(nx.mu);
+      nx.token = true;
+    }
+    nx.cv.notify_one();
+  }
+
+  void WorkerMain(ThreadState* ts) {
+    {
+      std::unique_lock<std::mutex> lk(ts->mu);
+      ts->cv.wait(lk, [ts] { return ts->token; });
+      ts->token = false;
+    }
+    tls_exec = this;
+    tls_tid = ts->id;
+    if (!failed_ && !capped_) {
+      try {
+        ts->fn();
+      } catch (AbortExecution&) {
+      }
+    }
+    ts->status = ThreadState::Status::kFinished;
+    WakeBlocked();
+    // Hand the token to any runnable thread (ascending id: deterministic;
+    // thread 0 is always alive until Run() returns, so one exists).
+    for (auto& t : threads_) {
+      if (t->id != ts->id && t->status == ThreadState::Status::kRunnable) {
+        HandOff(t->id);
+        return;
+      }
+    }
+    // Everyone else is blocked-but-unfinished: only reachable mid-drain.
+    for (auto& t : threads_) {
+      if (t->id != ts->id && t->status != ThreadState::Status::kFinished) {
+        HandOff(t->id);
+        return;
+      }
+    }
+  }
+
+  int AliveWorkers() const {
+    int n = 0;
+    for (auto& t : threads_) {
+      if (t->id != 0 && t->status != ThreadState::Status::kFinished) n++;
+    }
+    return n;
+  }
+
+  void WakeBlocked() {
+    for (auto& t : threads_) {
+      if (t->status == ThreadState::Status::kBlocked) {
+        t->status = ThreadState::Status::kRunnable;
+        // A real store changed the world: the freshness grant is moot.
+        t->force_newest = false;
+        t->blocked_fresh = false;
+      }
+    }
+  }
+
+  // Wakes blocked threads that have not yet re-checked under a forced-fresh
+  // view. Returns false when every blocked thread already did (deadlock).
+  bool TryFreshWake() {
+    bool any = false;
+    for (auto& t : threads_) {
+      if (t->status == ThreadState::Status::kBlocked && !t->blocked_fresh) {
+        t->status = ThreadState::Status::kRunnable;
+        t->force_newest = true;
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  static void ResetSpin(ThreadState& me) {
+    me.spin_loc = nullptr;
+    me.spin_idx = 0;
+    me.spin_count = 0;
+    me.force_newest = false;  // a write is progress; staleness resumes
+  }
+
+  // ---- choice plumbing ----
+
+  uint32_t NextChoice(uint32_t n_options) {
+    uint32_t c;
+    if (pos_ < prefix_.size()) {
+      c = std::min(prefix_[pos_], n_options - 1);
+    } else if (mode_ == SearchMode::kPct) {
+      c = static_cast<uint32_t>(rng_() % n_options);
+    } else {
+      c = 0;
+    }
+    return RecordChoice(c, n_options);
+  }
+
+  uint32_t ValueChoice(uint32_t n_options) {
+    if (n_options <= 1) return 0;
+    return NextChoice(n_options);
+  }
+
+  uint32_t RecordChoice(uint32_t c, uint32_t n_options) {
+    if (pos_ < prefix_.size()) c = std::min(prefix_[pos_], n_options - 1);
+    pos_++;
+    trace_.push_back(c);
+    points_.push_back({c, n_options});
+    return c;
+  }
+
+  // ---- memory-model helpers ----
+
+  AtomicLoc& GetAtomic(const void* loc, uint64_t fallback) {
+    auto it = atomics_.find(loc);
+    if (it != atomics_.end()) return it->second;
+    AtomicLoc& l = atomics_[loc];
+    StoreRecord init;
+    init.value = fallback;
+    l.history.push_back(init);
+    return l;
+  }
+
+  StoreRecord MakeStore(ThreadState& me, uint64_t value, std::memory_order mo,
+                        const StoreRecord* carry) {
+    StoreRecord r;
+    r.value = value;
+    r.writer = me.id;
+    r.writer_tick = me.clock.v[static_cast<size_t>(me.id)];
+    if (carry != nullptr && carry->has_release) {
+      r.release = carry->release;  // release-sequence continuation (RMW)
+      r.has_release = true;
+    }
+    if (IsRelease(mo)) {
+      r.release.Join(me.clock);
+      r.has_release = true;
+    } else if (me.has_fence_release) {
+      r.release.Join(me.fence_release);
+      r.has_release = true;
+    }
+    return r;
+  }
+
+  void AcquireSide(ThreadState& me, const StoreRecord& cur,
+                   std::memory_order mo) {
+    if (!cur.has_release) return;
+    if (IsAcquire(mo)) {
+      me.clock.Join(cur.release);
+    } else {
+      me.pending_acquire.Join(cur.release);
+      me.has_pending_acquire = true;
+    }
+  }
+
+  void CheckWriteOrdered(ThreadState& me, const PlainLoc& p,
+                         const char* what) {
+    if (p.last_writer >= 0 && p.last_writer != me.id &&
+        !me.clock.Covers(p.last_writer, p.last_write_tick)) {
+      Race(what, p.last_what);
+    }
+  }
+
+  void Race(const char* access, const char* other) {
+    Fail(std::string("data race: '") + access +
+         "' is unordered with a prior '" + other +
+         "' by another thread (no happens-before edge)");
+  }
+
+  // ---- PCT helpers ----
+
+  double DrawPriority() {
+    return std::uniform_real_distribution<double>(1.0, 2.0)(rng_);
+  }
+
+  void DrawChangePoints() {
+    std::uniform_int_distribution<uint64_t> dist(1, 800);
+    for (int i = 0; i < opts_.pct_depth; ++i) {
+      change_points_.push_back(dist(rng_));
+    }
+    std::sort(change_points_.begin(), change_points_.end(),
+              std::greater<uint64_t>());
+  }
+
+  const SearchMode mode_;
+  const ExploreOptions opts_;
+  const std::vector<uint32_t> prefix_;
+  std::mt19937_64 rng_;
+
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+  int current_ = 0;
+  uint64_t steps_ = 0;
+  uint64_t sched_steps_ = 0;
+  int preemptions_ = 0;
+  int stales_ = 0;  // stale reads taken (bounded by opts_.stale_bound)
+  std::vector<uint64_t> change_points_;  // descending; back() is next
+  double next_low_priority_ = 0;
+
+  std::unordered_map<const void*, AtomicLoc> atomics_;
+  std::unordered_map<const void*, PlainLoc> plains_;
+  std::unordered_map<const void*, LedgerTotals> ledger_;
+  LedgerTotals totals_;
+
+  size_t pos_ = 0;
+  std::vector<uint32_t> trace_;
+  std::vector<ChoicePoint> points_;
+
+  bool failed_ = false;
+  bool deadlock_ = false;
+  bool capped_ = false;
+  std::string message_;
+
+  friend class ExecutionAccess;
+};
+
+ExploreResult ResultFrom(const Execution& e, uint64_t executions,
+                         uint64_t step_capped, uint64_t failing_seed) {
+  ExploreResult res;
+  res.failed = e.failed();
+  res.deadlock = e.deadlock();
+  res.message = e.message();
+  res.executions = executions;
+  res.failing_seed = failing_seed;
+  res.schedule = e.trace();
+  res.step_capped = step_capped;
+  return res;
+}
+
+}  // namespace
+
+std::string ExploreResult::ScheduleString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (i != 0) os << '.';
+    os << schedule[i];
+  }
+  return os.str();
+}
+
+ExploreResult Explore(const ExploreOptions& options,
+                      const std::function<void()>& body) {
+  if (g_explore_active || tls_exec != nullptr) {
+    std::fprintf(stderr, "check::Explore is not reentrant\n");
+    std::abort();
+  }
+  g_explore_active = true;
+  ExploreResult res;
+  uint64_t step_capped = 0;
+  if (options.mode == ExploreOptions::Mode::kPct) {
+    for (uint64_t i = 0; i < options.executions; ++i) {
+      const uint64_t seed = options.seed + i;
+      Execution e(Execution::SearchMode::kPct, options, {}, seed);
+      e.Run(body);
+      if (e.capped()) step_capped++;
+      if (e.failed()) {
+        res = ResultFrom(e, i + 1, step_capped, seed);
+        g_explore_active = false;
+        return res;
+      }
+    }
+    res.executions = options.executions;
+  } else {
+    std::vector<uint32_t> prefix;
+    uint64_t i = 0;
+    for (; i < options.max_executions; ++i) {
+      Execution e(Execution::SearchMode::kExhaustive, options, prefix, 0);
+      e.Run(body);
+      if (e.capped()) step_capped++;
+      if (e.failed()) {
+        res = ResultFrom(e, i + 1, step_capped, 0);
+        g_explore_active = false;
+        return res;
+      }
+      if (!e.NextPrefix(&prefix)) {
+        res.exhausted = true;
+        i++;
+        break;
+      }
+    }
+    res.executions = i;
+  }
+  res.step_capped = step_capped;
+  g_explore_active = false;
+  return res;
+}
+
+ExploreResult Replay(const std::vector<uint32_t>& schedule,
+                     const std::function<void()>& body) {
+  if (g_explore_active || tls_exec != nullptr) {
+    std::fprintf(stderr, "check::Replay is not reentrant\n");
+    std::abort();
+  }
+  g_explore_active = true;
+  ExploreOptions options;
+  Execution e(Execution::SearchMode::kReplay, options, schedule, 0);
+  e.Run(body);
+  ExploreResult res = ResultFrom(e, 1, e.capped() ? 1 : 0, 0);
+  g_explore_active = false;
+  return res;
+}
+
+void Spawn(std::function<void()> fn) {
+  if (tls_exec == nullptr) {
+    std::fprintf(stderr, "check::Spawn outside a model execution\n");
+    std::abort();
+  }
+  tls_exec->SpawnImpl(std::move(fn));
+}
+
+void JoinAll() {
+  if (tls_exec == nullptr) return;
+  tls_exec->JoinAllImpl();
+}
+
+bool InModel() { return tls_exec != nullptr; }
+
+void ModelAssert(bool ok, const std::string& message) {
+  if (ok) return;
+  if (tls_exec != nullptr) {
+    tls_exec->Fail("assertion failed: " + message);
+  }
+  std::fprintf(stderr, "ModelAssert failed outside a model execution: %s\n",
+               message.c_str());
+  std::abort();
+}
+
+void SchedulePoint(const char* what) {
+  if (tls_exec != nullptr) tls_exec->Pause(what);
+}
+
+void BlockedPoint(const char* what) {
+  if (tls_exec != nullptr) tls_exec->BlockedImpl(what);
+}
+
+void PlainWrite(const void* addr, const char* what) {
+  if (tls_exec != nullptr) tls_exec->PWrite(addr, what);
+}
+
+void PlainRead(const void* addr, const char* what) {
+  if (tls_exec != nullptr) tls_exec->PRead(addr, what);
+}
+
+void SetMutation(Mutation m, bool enabled) {
+  const uint32_t bit = 1u << static_cast<uint32_t>(m);
+  if (enabled) {
+    g_mutations.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    g_mutations.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
+
+bool MutationEnabled(Mutation m) {
+  const uint32_t bit = 1u << static_cast<uint32_t>(m);
+  return (g_mutations.load(std::memory_order_relaxed) & bit) != 0;
+}
+
+std::memory_order MaybeWeaken(Mutation m, std::memory_order strong) {
+  return MutationEnabled(m) ? std::memory_order_relaxed : strong;
+}
+
+void LedgerOnPush(const void* edge) {
+  if (tls_exec != nullptr) tls_exec->OnLedgerPush(edge);
+}
+
+void LedgerOnPop(const void* edge) {
+  if (tls_exec != nullptr) tls_exec->OnLedgerPop(edge);
+}
+
+void LedgerOnBlock(int producer, int consumer, size_t num_tasks) {
+  if (tls_exec != nullptr) {
+    tls_exec->OnLedgerBlock(producer, consumer, num_tasks);
+  }
+}
+
+LedgerTotals LedgerCounts() {
+  if (tls_exec == nullptr) return {};
+  return tls_exec->Totals();
+}
+
+namespace detail {
+
+uint64_t MLoad(const void* loc, uint64_t fallback, std::memory_order mo) {
+  return tls_exec->Load(loc, fallback, mo);
+}
+
+void MStore(const void* loc, uint64_t fallback, uint64_t value,
+            std::memory_order mo) {
+  tls_exec->Store(loc, fallback, value, mo);
+}
+
+uint64_t MRmw(const void* loc, uint64_t fallback, std::memory_order mo,
+              const std::function<uint64_t(uint64_t)>& op) {
+  return tls_exec->Rmw(loc, fallback, mo, op);
+}
+
+bool MCas(const void* loc, uint64_t fallback, uint64_t expected,
+          uint64_t desired, std::memory_order mo, uint64_t* actual) {
+  return tls_exec->Cas(loc, fallback, expected, desired, mo, actual);
+}
+
+void MFence(std::memory_order mo) { tls_exec->FenceImpl(mo); }
+
+}  // namespace detail
+
+}  // namespace ajoin::check

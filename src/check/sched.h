@@ -1,0 +1,62 @@
+// Instrumentation shims the lock-free cores compile against. In a normal
+// build every macro below expands to nothing (or passes through), and
+// mc::Atomic is a plain std::atomic — zero overhead, identical codegen. Under
+// -DAJOIN_MODELCHECK the same sites route through src/check/model.h so the
+// deterministic model checker can schedule, race-check, and weaken them.
+//
+// Keep this header dependency-free except for <atomic> in normal builds:
+// it is included from the hottest headers in the engine.
+
+#pragma once
+
+#include <atomic>
+
+#ifdef AJOIN_MODELCHECK
+#include "src/check/model.h"
+
+namespace ajoin::mc {
+// Modeled atomic: loads may observe weak-memory-feasible stale values while
+// a model execution is active.
+template <typename T>
+using Atomic = ::ajoin::check::ModelAtomic<T>;
+
+inline void Fence(std::memory_order mo) { ::ajoin::check::Fence(mo); }
+}  // namespace ajoin::mc
+
+// A pure scheduling point (preemption opportunity) on a lock-free hot path.
+#define AJOIN_MC_POINT(what) ::ajoin::check::SchedulePoint(what)
+// Registers a plain (non-atomic) access with the model's race detector.
+#define AJOIN_MC_PLAIN_WRITE(addr, what) \
+  ::ajoin::check::PlainWrite(static_cast<const void*>(addr), what)
+#define AJOIN_MC_PLAIN_READ(addr, what) \
+  ::ajoin::check::PlainRead(static_cast<const void*>(addr), what)
+// Cooperative replacement for a real block/park on a modeled wait loop.
+#define AJOIN_MC_BLOCKED(what) ::ajoin::check::BlockedPoint(what)
+// Memory order that a seeded mutation may weaken to relaxed (teeth checks).
+#define AJOIN_MC_ORDER(mutation, order) \
+  ::ajoin::check::MaybeWeaken(::ajoin::check::Mutation::mutation, order)
+// Exchange credit-ledger assertions.
+#define AJOIN_MC_LEDGER_PUSH(edge) ::ajoin::check::LedgerOnPush(edge)
+#define AJOIN_MC_LEDGER_POP(edge) ::ajoin::check::LedgerOnPop(edge)
+#define AJOIN_MC_LEDGER_BLOCK(producer, consumer, num_tasks) \
+  ::ajoin::check::LedgerOnBlock(producer, consumer, num_tasks)
+
+#else  // !AJOIN_MODELCHECK
+
+namespace ajoin::mc {
+template <typename T>
+using Atomic = std::atomic<T>;
+
+inline void Fence(std::memory_order mo) { std::atomic_thread_fence(mo); }
+}  // namespace ajoin::mc
+
+#define AJOIN_MC_POINT(what) ((void)0)
+#define AJOIN_MC_PLAIN_WRITE(addr, what) ((void)0)
+#define AJOIN_MC_PLAIN_READ(addr, what) ((void)0)
+#define AJOIN_MC_BLOCKED(what) ((void)0)
+#define AJOIN_MC_ORDER(mutation, order) (order)
+#define AJOIN_MC_LEDGER_PUSH(edge) ((void)0)
+#define AJOIN_MC_LEDGER_POP(edge) ((void)0)
+#define AJOIN_MC_LEDGER_BLOCK(producer, consumer, num_tasks) ((void)0)
+
+#endif  // AJOIN_MODELCHECK

@@ -23,6 +23,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/check/sched.h"
+
 namespace ajoin {
 
 /// What a trace event records. `a`/`b` are kind-specific payload words (see
@@ -85,7 +87,7 @@ class TraceRing {
     Slot& slot = slots_[idx & mask_];
     const uint64_t s = slot.seq.load(std::memory_order_relaxed);
     slot.seq.store(s + 1, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_release);
+    mc::Fence(std::memory_order_release);
     slot.index.store(idx, std::memory_order_relaxed);
     slot.kind.store(static_cast<uint64_t>(kind), std::memory_order_relaxed);
     slot.task.store(static_cast<uint64_t>(static_cast<int64_t>(task)),
@@ -116,7 +118,7 @@ class TraceRing {
       ev.t_us = slot.t_us.load(std::memory_order_relaxed);
       ev.a = slot.a.load(std::memory_order_relaxed);
       ev.b = slot.b.load(std::memory_order_relaxed);
-      std::atomic_thread_fence(std::memory_order_acquire);
+      mc::Fence(std::memory_order_acquire);
       if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
       out.push_back(ev);
     }
@@ -137,16 +139,16 @@ class TraceRing {
 
  private:
   struct Slot {
-    std::atomic<uint64_t> seq{0};  // per-slot seqlock (even = stable)
-    std::atomic<uint64_t> index{0};
-    std::atomic<uint64_t> kind{0};
-    std::atomic<uint64_t> task{0};
-    std::atomic<uint64_t> t_us{0};
-    std::atomic<uint64_t> a{0};
-    std::atomic<uint64_t> b{0};
+    mc::Atomic<uint64_t> seq{0};  // per-slot seqlock (even = stable)
+    mc::Atomic<uint64_t> index{0};
+    mc::Atomic<uint64_t> kind{0};
+    mc::Atomic<uint64_t> task{0};
+    mc::Atomic<uint64_t> t_us{0};
+    mc::Atomic<uint64_t> a{0};
+    mc::Atomic<uint64_t> b{0};
   };
 
-  std::atomic<uint64_t> head_{0};  // next claim index
+  mc::Atomic<uint64_t> head_{0};  // next claim index
   size_t mask_ = 0;
   std::unique_ptr<Slot[]> slots_;
 };

@@ -95,6 +95,7 @@ void AutoscaleController::Loop() {
   const auto epoch = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(stop_mu_);
   while (!stop_) {
+    // ajoin-lint: timed-park — controller cadence; bounded by period_us.
     stop_cv_.wait_for(lock, std::chrono::microseconds(options_.period_us));
     if (stop_) break;
     lock.unlock();

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/check/sched.h"
 #include "src/net/message.h"
 
 namespace ajoin {
@@ -45,8 +46,11 @@ class BatchRing {
       head_cache_ = head_.load(std::memory_order_acquire);
       if (tail - head_cache_ >= slots_.size()) return false;
     }
+    AJOIN_MC_PLAIN_WRITE(&slots_[tail & mask_], "ring slot fill");
     slots_[tail & mask_] = std::move(batch);
-    tail_.store(tail + 1, std::memory_order_release);
+    tail_.store(tail + 1,
+                AJOIN_MC_ORDER(kBatchRingTailRelaxed,
+                               std::memory_order_release));
     return true;
   }
 
@@ -57,6 +61,8 @@ class BatchRing {
       tail_cache_ = tail_.load(std::memory_order_acquire);
       if (head == tail_cache_) return false;
     }
+    // Moving out of the slot mutates it, so the pop counts as a plain write.
+    AJOIN_MC_PLAIN_WRITE(&slots_[head & mask_], "ring slot drain");
     *out = std::move(slots_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
@@ -76,10 +82,10 @@ class BatchRing {
   std::vector<TupleBatch> slots_;
   size_t mask_ = 0;
   // Producer-owned line: tail index plus the producer's cached head.
-  alignas(64) std::atomic<uint64_t> tail_{0};
+  alignas(64) mc::Atomic<uint64_t> tail_{0};
   uint64_t head_cache_ = 0;
   // Consumer-owned line: head index plus the consumer's cached tail.
-  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) mc::Atomic<uint64_t> head_{0};
   uint64_t tail_cache_ = 0;
 };
 

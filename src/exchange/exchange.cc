@@ -110,8 +110,22 @@ void ExchangePlane::PushBatch(Edge& edge, TupleBatch& batch, int consumer,
       edge.credit_waits.fetch_add(1, std::memory_order_relaxed);
       const uint64_t t0_ns = SteadyNowNanos();
       Doorbell(consumer);
+      bool modeled_wait = false;
+#ifdef AJOIN_MODELCHECK
+      if (check::InModel()) {
+        // Under the model checker the condvar park below is invisible to
+        // the virtual scheduler; block cooperatively instead, and assert
+        // the task-id lock order that keeps credit blocking deadlock-free.
+        modeled_wait = true;
+        AJOIN_MC_LEDGER_BLOCK(static_cast<int>(producer), consumer,
+                              num_tasks_);
+        while (!edge.ring.TryPush(batch)) {
+          AJOIN_MC_BLOCKED("credit-wait");
+        }
+      }
+#endif
       int spins = 0;
-      while (!edge.ring.TryPush(batch)) {
+      while (!modeled_wait && !edge.ring.TryPush(batch)) {
         if (++spins <= 4) {
           std::this_thread::yield();
           continue;
@@ -120,6 +134,9 @@ void ExchangePlane::PushBatch(Edge& edge, TupleBatch& batch, int consumer,
         if (edge.ring.ProbablyFull() &&
             !closed_.load(std::memory_order_acquire)) {
           std::unique_lock<std::mutex> lock(edge.credit_mu);
+          // ajoin-lint: id-ordered-block — only producers below the
+          // consumer's task id (or external ingress) reach this wait, so
+          // the credit wait-for graph is acyclic (see exchange.h).
           edge.credit_cv.wait_for(lock, kParkTimeout);
         }
         edge.producer_waiting.store(false, std::memory_order_relaxed);
@@ -132,6 +149,7 @@ void ExchangePlane::PushBatch(Edge& edge, TupleBatch& batch, int consumer,
                               NowMicros(), stall_ns, producer);
       }
     }
+    AJOIN_MC_LEDGER_PUSH(&edge);
     RaisePeak(edge.peak_occupancy,
               static_cast<uint32_t>(edge.ring.SlotsUsed()));
     Doorbell(consumer);
@@ -142,6 +160,7 @@ void ExchangePlane::PushBatch(Edge& edge, TupleBatch& batch, int consumer,
   // spill. Never blocks — see the deadlock-freedom argument in the header.
   if (edge.ov_count.load(std::memory_order_relaxed) == 0 &&
       edge.ring.TryPush(batch)) {
+    AJOIN_MC_LEDGER_PUSH(&edge);
     RaisePeak(edge.peak_occupancy,
               static_cast<uint32_t>(edge.ring.SlotsUsed()));
     Doorbell(consumer);
@@ -154,6 +173,7 @@ void ExchangePlane::PushBatch(Edge& edge, TupleBatch& batch, int consumer,
     edge.overflow.push_back(std::move(batch));
     edge.ov_count.fetch_add(1, std::memory_order_release);
   }
+  AJOIN_MC_LEDGER_PUSH(&edge);
   Doorbell(consumer);
 }
 
@@ -165,6 +185,7 @@ bool ExchangePlane::PopAny(int consumer, size_t* rr_cursor, TupleBatch* out) {
     const size_t at = (*rr_cursor + i) % n;
     Edge& edge = *inbox.edges[at];
     if (edge.ring.TryPop(out)) {
+      AJOIN_MC_LEDGER_POP(&edge);
       *rr_cursor = (at + 1) % n;
       if (edge.bounded &&
           edge.producer_waiting.load(std::memory_order_seq_cst)) {
@@ -184,6 +205,7 @@ bool ExchangePlane::PopAny(int consumer, size_t* rr_cursor, TupleBatch* out) {
       // the ring now that they are guaranteed visible, or a younger
       // overflow batch could overtake them and break per-edge FIFO.
       if (edge.ring.TryPop(out)) {
+        AJOIN_MC_LEDGER_POP(&edge);
         *rr_cursor = (at + 1) % n;
         return true;  // unbounded edge: no credit waiter to wake
       }
@@ -192,6 +214,7 @@ bool ExchangePlane::PopAny(int consumer, size_t* rr_cursor, TupleBatch* out) {
         *out = std::move(edge.overflow.front());
         edge.overflow.pop_front();
         edge.ov_count.fetch_sub(1, std::memory_order_release);
+        AJOIN_MC_LEDGER_POP(&edge);
         *rr_cursor = (at + 1) % n;
         return true;
       }
@@ -224,6 +247,8 @@ void ExchangePlane::WaitForWork(int consumer) {
   }
   {
     std::unique_lock<std::mutex> lock(inbox.sleep_mu);
+    // ajoin-lint: timed-park — bounded 1ms nap; the doorbell notifies on
+    // every push, so this can never participate in a deadlock cycle.
     inbox.sleep_cv.wait_for(lock, kParkTimeout);
   }
   inbox.sleeping.store(0, std::memory_order_relaxed);

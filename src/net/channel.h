@@ -41,6 +41,8 @@ class Channel {
   /// Returns nullopt only when closed and drained.
   std::optional<Envelope> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
+    // ajoin-lint: external-block — legacy per-worker mailbox; Close() wakes
+    // all waiters, and workers never Pop their own outbound channel.
     cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
     if (queue_.empty()) return std::nullopt;
     Envelope msg = std::move(queue_.front());

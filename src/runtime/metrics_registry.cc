@@ -69,6 +69,8 @@ void TelemetrySampler::Loop() {
   for (;;) {
     SampleNow(SteadyNowMicros());
     std::unique_lock<std::mutex> lock(stop_mu_);
+    // ajoin-lint: timed-park — sampler cadence; wakes every period even if
+    // the stop notify is lost.
     if (stop_cv_.wait_for(lock, period, [this] { return stop_; })) {
       lock.unlock();
       SampleNow(SteadyNowMicros());  // final sample: series ends fresh

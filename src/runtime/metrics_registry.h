@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/check/sched.h"
 #include "src/common/trace_ring.h"
 #include "src/exchange/exchange.h"
 #include "src/runtime/metrics.h"
@@ -51,7 +52,8 @@ class SeqlockCell {
   void Publish(const uint64_t (&words)[N]) {
     const uint64_t s = seq_.load(std::memory_order_relaxed);
     seq_.store(s + 1, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_release);
+    mc::Fence(AJOIN_MC_ORDER(kSeqlockPublishRelaxedFence,
+                             std::memory_order_release));
     for (size_t i = 0; i < N; ++i) {
       words_[i].store(words[i], std::memory_order_relaxed);
     }
@@ -67,14 +69,14 @@ class SeqlockCell {
       for (size_t i = 0; i < N; ++i) {
         out[i] = words_[i].load(std::memory_order_relaxed);
       }
-      std::atomic_thread_fence(std::memory_order_acquire);
+      mc::Fence(std::memory_order_acquire);
       if (seq_.load(std::memory_order_relaxed) == s1) return;
     }
   }
 
  private:
-  std::atomic<uint64_t> seq_{0};
-  std::atomic<uint64_t> words_[N] = {};
+  mc::Atomic<uint64_t> seq_{0};
+  mc::Atomic<uint64_t> words_[N] = {};
 };
 
 /// What kind of task a registry entry describes.

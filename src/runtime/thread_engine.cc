@@ -482,6 +482,9 @@ void ThreadEngine::DecInflight(uint64_t n) {
 bool ThreadEngine::LegacyPost(int to, Envelope msg) {
   {
     std::unique_lock<std::mutex> lock(idle_mu_);
+    // ajoin-lint: external-block — legacy ingress throttle; only callers
+    // outside the task graph (no task id) reach this, so it cannot
+    // participate in a producer/consumer credit cycle.
     throttle_cv_.wait(lock, [this] {
       return inflight_.load(std::memory_order_relaxed) < max_inflight_;
     });
@@ -504,6 +507,8 @@ void ThreadEngine::WaitQuiescent() {
     while (true) {
       FlushAllPorts();
       std::unique_lock<std::mutex> lock(idle_mu_);
+      // ajoin-lint: timed-park — 1ms bound; the loop re-sweeps ports, so a
+      // missed notify costs one period, not liveness.
       if (idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
             return inflight_.load(std::memory_order_acquire) == 0;
           })) {
@@ -512,13 +517,17 @@ void ThreadEngine::WaitQuiescent() {
     }
   }
   std::unique_lock<std::mutex> lock(idle_mu_);
+  // ajoin-lint: external-block — quiescence barrier for the driving thread;
+  // workers never call this, so it cannot deadlock the task graph.
   idle_cv_.wait(lock, [this] {
     return inflight_.load(std::memory_order_acquire) == 0;
   });
 }
 
 void ThreadEngine::Shutdown() {
-  if (!started_ || shut_down_.exchange(true)) return;
+  if (!started_ || shut_down_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
   // The flag is up before the final drain, so ports and the Post shim start
   // rejecting while everything already accepted still gets processed.
   WaitQuiescent();

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Concurrency lint for src/, run by the CI docs/lint job (and locally).
+
+Static rules that complement the sanitizers and the src/check model checker
+(they run on every file on every push; the dynamic tools only see executed
+paths):
+
+1. Explicit memory order. Every std::atomic / mc::Atomic operation
+   (load/store/exchange/fetch_*/compare_exchange_*) must name a
+   std::memory_order (directly, or via AJOIN_MC_ORDER which expands to
+   one). Defaulted seq_cst hides the author's intent and makes every later
+   "surely this can be relaxed" edit a guess. Statements may span lines —
+   the statement is joined to its closing ';' before matching.
+
+2. Seqlock payload isolation. The seqlock word array (`words_`) and
+   sequence counter (`seq_`) may be touched only inside SeqlockCell itself
+   (src/runtime/metrics_registry.h). Any other access bypasses the
+   odd/even protocol and can read a torn payload.
+
+3. No volatile for synchronization. `volatile` does not order or
+   atomicize anything in C++; it is banned in src/ outside comments and
+   string literals.
+
+4. Annotated blocking. Every condition-variable wait (`cv.wait`,
+   `wait_for`, `wait_until`) must carry an `// ajoin-lint: <tag>` comment
+   within the three preceding lines, where <tag> is one of:
+     id-ordered-block  — a credit wait; the comment must argue the
+                         producer-below-consumer order that makes the
+                         blocking cycle-free (checked dynamically by the
+                         model checker's ledger assertions),
+     timed-park        — a bounded wait that cannot lose liveness,
+     external-block    — a wait only threads outside the task graph reach.
+   Credit waits in the exchange (src/exchange/) must use id-ordered-block.
+   src/check/ is exempt: its waits ARE the model checker's cooperative
+   scheduler.
+
+Exit code 0 = clean; 1 = findings (printed one per line).
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+ATOMIC_OP_RE = re.compile(
+    r"[.\->]\s*(load|store|exchange|fetch_add|fetch_sub|fetch_or|"
+    r"fetch_and|fetch_xor|compare_exchange_weak|compare_exchange_strong)"
+    r"\s*\(")
+WAIT_RE = re.compile(r"\b\w*cv\w*\.\s*wait(_for|_until)?\s*\(")
+ANNOTATION_RE = re.compile(
+    r"//\s*ajoin-lint:\s*(id-ordered-block|timed-park|external-block)\b")
+# Non-atomic members that happen to share a method name with std::atomic.
+# `lock.load(...)` etc. do not exist in this codebase; the one real source
+# of false positives is TupleBatch-like containers, which have none of the
+# listed method names. Keep this list empty until a real collision appears.
+NON_ATOMIC_RECEIVERS = ()
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments and the contents of string/char literals."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def source_files():
+    for pattern in ("**/*.h", "**/*.cc"):
+        yield from sorted((REPO / "src").glob(pattern))
+
+
+def join_statement(lines, start):
+    """Joins lines[start:] until parens balance and a ';' (or '{') ends the
+    statement. Returns the joined text (comments/strings stripped)."""
+    depth = 0
+    parts = []
+    for idx in range(start, min(start + 12, len(lines))):
+        code = strip_comments_and_strings(lines[idx])
+        parts.append(code)
+        depth += code.count("(") - code.count(")")
+        if depth <= 0 and (";" in code or code.rstrip().endswith("{")):
+            break
+    return " ".join(parts)
+
+
+def check_memory_order(path, lines, errors):
+    rel = path.relative_to(REPO)
+    for idx, line in enumerate(lines):
+        code = strip_comments_and_strings(line)
+        match = ATOMIC_OP_RE.search(code)
+        if not match:
+            continue
+        receiver = code[: match.start()].rstrip().rsplit(None, 1)[-1] \
+            if code[: match.start()].strip() else ""
+        if receiver.endswith(NON_ATOMIC_RECEIVERS):
+            continue
+        stmt = join_statement(lines, idx)
+        # `mo` is the conventional name of a forwarded std::memory_order
+        # parameter (ModelAtomic's API takes one and passes it through).
+        if "memory_order" in stmt or "AJOIN_MC_ORDER" in stmt or \
+                re.search(r"[,(]\s*mo\s*[,)]", stmt):
+            continue
+        errors.append(
+            f"{rel}:{idx + 1}: atomic {match.group(1)}() without an explicit "
+            f"std::memory_order")
+
+
+def check_seqlock_isolation(path, lines, errors):
+    rel = path.relative_to(REPO)
+    if rel.as_posix() == "src/runtime/metrics_registry.h":
+        return
+    for idx, line in enumerate(lines):
+        code = strip_comments_and_strings(line)
+        if re.search(r"(\.|->)\s*(words_|seq_)\b", code) or \
+                re.search(r"\b(words_|seq_)\s*\[", code):
+            errors.append(
+                f"{rel}:{idx + 1}: seqlock payload/sequence word accessed "
+                f"outside SeqlockCell (use Publish/Read)")
+
+
+def check_no_volatile(path, lines, errors):
+    rel = path.relative_to(REPO)
+    for idx, line in enumerate(lines):
+        code = strip_comments_and_strings(line)
+        if re.search(r"\bvolatile\b", code):
+            errors.append(
+                f"{rel}:{idx + 1}: volatile is not a synchronization "
+                f"primitive; use std::atomic with an explicit order")
+
+
+def check_annotated_blocking(path, lines, errors):
+    rel = path.relative_to(REPO)
+    if rel.as_posix().startswith("src/check/"):
+        return
+    in_exchange = rel.as_posix().startswith("src/exchange/")
+    for idx, line in enumerate(lines):
+        code = strip_comments_and_strings(line)
+        if not WAIT_RE.search(code):
+            continue
+        tag = None
+        for back in range(max(0, idx - 3), idx):
+            found = ANNOTATION_RE.search(lines[back])
+            if found:
+                tag = found.group(1)
+        if tag is None:
+            errors.append(
+                f"{rel}:{idx + 1}: condition-variable wait without an "
+                f"'// ajoin-lint: <tag>' annotation in the 3 lines above "
+                f"(id-ordered-block | timed-park | external-block)")
+        elif in_exchange and "credit" in code and tag != "id-ordered-block":
+            errors.append(
+                f"{rel}:{idx + 1}: exchange credit wait must be annotated "
+                f"id-ordered-block, not {tag}")
+
+
+def main():
+    errors = []
+    for path in source_files():
+        lines = path.read_text(encoding="utf-8").splitlines()
+        check_memory_order(path, lines, errors)
+        check_seqlock_isolation(path, lines, errors)
+        check_no_volatile(path, lines, errors)
+        check_annotated_blocking(path, lines, errors)
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"\n{len(errors)} concurrency lint finding(s)")
+        return 1
+    print("concurrency lint clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

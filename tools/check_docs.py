@@ -83,8 +83,57 @@ API_SURFACES = (
     ("src/localjoin/join_index.h", ("JoinIndex",)),
     ("src/runtime/metrics_registry.h", ("MetricsRegistry", "TelemetrySampler")),
     ("src/common/trace_ring.h", ("TraceRing",)),
+    ("src/check/model.h", ("ModelAtomic",)),
+    ("src/check/invariants.h", ("FifoChecker", "TornReadChecker")),
 )
 METHOD_RE = re.compile(r"^(virtual\s+)?[A-Za-z_][\w:<>,&*\s]*\(")
+
+# Headers whose namespace-scope free functions must carry doc comments (the
+# model checker's surface is mostly free functions: Explore, Replay, Spawn,
+# SchedulePoint, the ledger hooks, ...).
+FREE_FUNCTION_SURFACES = ("src/check/model.h", "src/check/invariants.h")
+FREE_FN_RE = re.compile(r"^[A-Za-z_][\w:<>,&*]*[\s&*]+[A-Za-z_]\w*\s*\(")
+FREE_FN_SKIP = ("if ", "for ", "while ", "switch ", "return ", "namespace ")
+
+
+def check_free_function_doc_comments():
+    """Namespace-scope functions in FREE_FUNCTION_SURFACES need doc
+    comments. Column-0 declarations only: this codebase keeps namespace
+    contents unindented, so class members (indented) never match."""
+    errors = []
+    for header in FREE_FUNCTION_SURFACES:
+        path = REPO / header
+        if not path.exists():
+            errors.append(f"{header}: missing (free-function doc check "
+                          "has no target)")
+            continue
+        lines = path.read_text(encoding="utf-8").splitlines()
+        in_detail = False
+        for idx, line in enumerate(lines):
+            # `namespace detail` is internal plumbing, not public surface.
+            if line.startswith("namespace detail"):
+                in_detail = True
+            if in_detail:
+                if line.startswith("}"):
+                    in_detail = False
+                continue
+            if line.startswith((" ", "\t", "//", "#")):
+                continue
+            stripped = line.strip()
+            if stripped.startswith(FREE_FN_SKIP) or "(" not in stripped:
+                continue
+            if not FREE_FN_RE.match(stripped):
+                continue
+            prev = idx - 1
+            while prev >= 0 and (not lines[prev].strip()
+                                 or lines[prev].strip().startswith(
+                                     ("template", "static_assert"))):
+                prev -= 1
+            if prev < 0 or not lines[prev].strip().startswith("//"):
+                errors.append(
+                    f"{header}:{idx + 1}: namespace-scope function without "
+                    "a doc comment")
+    return errors
 
 
 def check_api_header(header, classes):
@@ -154,7 +203,7 @@ def check_api_doc_comments():
 
 def main():
     errors = (check_links() + check_onbatch_doc_comments()
-              + check_api_doc_comments())
+              + check_api_doc_comments() + check_free_function_doc_comments())
     for error in errors:
         print(error)
     if errors:
