@@ -1,10 +1,11 @@
-// Exchange-plane throughput: per-tuple (legacy mutex channels, and the
-// batched plane at batch_size 1) vs. batched (src/exchange/) shipping,
-// across batch sizes, thread counts, and — new with batch-aware operator
-// dispatch — the dispatch axis: `envelope` (the engine unpacks every batch
-// into one OnMessage call per envelope, the PR-1 baseline) vs `batch` (the
-// engine hands whole batches to Task::OnBatch, so reshuffler routing and
-// joiner store/probe run their one-pass batch specializations).
+// Exchange-plane throughput: per-tuple (batch_size 1 — the reference
+// configuration since the mutex Channel plane's retirement) vs. batched
+// (src/exchange/) shipping, across batch sizes, thread counts, and — new
+// with batch-aware operator dispatch — the dispatch axis: `envelope` (the
+// engine unpacks every batch into one OnMessage call per envelope, the
+// PR-1 baseline) vs `batch` (the engine hands whole batches to
+// Task::OnBatch, so reshuffler routing and joiner store/probe run their
+// one-pass batch specializations).
 //
 // Three sections:
 //  1. raw fan-out — an external producer round-robins envelopes over N sink
@@ -60,18 +61,15 @@ namespace {
 
 struct Mode {
   const char* name;
-  bool legacy;          // per-tuple mutex Channel plane
-  uint32_t batch_size;  // batched plane only
-  bool batch_dispatch;  // batched plane only: OnBatch vs per-envelope unpack
+  uint32_t batch_size;
+  bool batch_dispatch;  // OnBatch vs per-envelope unpack
 };
 
 const char* DispatchName(const Mode& mode) {
-  if (mode.legacy) return "envelope";
   return mode.batch_dispatch ? "batch" : "envelope";
 }
 
 std::unique_ptr<ThreadEngine> MakeEngine(const Mode& mode) {
-  if (mode.legacy) return std::make_unique<ThreadEngine>(size_t{1} << 14);
   ExchangeConfig config;
   config.batch_size = mode.batch_size;
   config.batch_dispatch = mode.batch_dispatch;
@@ -93,9 +91,8 @@ class SinkTask : public Task {
 /// specialization, so the dispatch axis is irrelevant here and the modes
 /// sweep batch size only.
 const Mode kRawModes[] = {
-    {"per-tuple", true, 0, false},    {"batched-1", false, 1, true},
-    {"batched-16", false, 16, true},  {"batched-64", false, 64, true},
-    {"batched-256", false, 256, true},
+    {"batched-1", 1, true},     {"batched-16", 16, true},
+    {"batched-64", 64, true},   {"batched-256", 256, true},
 };
 
 double RawFanout(const Mode& mode, int sinks, uint64_t envelopes) {
@@ -254,14 +251,14 @@ OperatorConfig StaticJoinConfig(uint32_t machines, bool use_flat_index) {
   return cfg;
 }
 
-/// Section 2 modes: the per-tuple references plus batch sizes 16/64/256,
-/// each under both dispatch kinds so the axis is measured at equal batching.
+/// Section 2 modes: the per-tuple reference (batch_size 1) plus batch sizes
+/// 16/64/256, each under both dispatch kinds so the axis is measured at
+/// equal batching.
 const Mode kJoinModes[] = {
-    {"per-tuple", true, 0, false},
-    {"batched-1", false, 1, false},
-    {"b16/env", false, 16, false},   {"b16/batch", false, 16, true},
-    {"b64/env", false, 64, false},   {"b64/batch", false, 64, true},
-    {"b256/env", false, 256, false}, {"b256/batch", false, 256, true},
+    {"batched-1", 1, false},
+    {"b16/env", 16, false},   {"b16/batch", 16, true},
+    {"b64/env", 64, false},   {"b64/batch", 64, true},
+    {"b256/env", 256, false}, {"b256/batch", 256, true},
 };
 
 /// Section 2: end-to-end static join run on the threaded engine. Best of
@@ -282,7 +279,7 @@ JoinRunResult JoinRun(const Mode& mode, uint32_t machines,
     TraceRing trace(4096);
     MetricsRegistry registry;
     std::unique_ptr<ThreadEngine> engine;
-    if (telemetry && !mode.legacy) {
+    if (telemetry) {
       ExchangeConfig xc;
       xc.batch_size = mode.batch_size;
       xc.batch_dispatch = mode.batch_dispatch;
@@ -358,7 +355,8 @@ int main() {
       .Add("unit", "tuples_per_sec")
       .Add("measure", "wall_clock_best_of_n")
       .Add("reps", "5 on 4J join runs, 2 on 2J/8J, 3 on raw fan-out")
-      .Add("note", "per-tuple = legacy mutex channels; bN = src/exchange "
+      .Add("note", "per-tuple reference = batched-1 (batch_size 1; the "
+                   "mutex Channel plane is retired); bN = src/exchange "
                    "plane with batch_size N; dispatch env = engine unpacks "
                    "batches into OnMessage, batch = whole-batch OnBatch into "
                    "the operators; overhead_ns = per-tuple wall time beyond "
@@ -386,15 +384,15 @@ int main() {
     for (int rep = 0; rep < 3; ++rep) {
       rate = std::max(rate, RawFanout(mode, /*sinks=*/4, kRawEnvelopes));
     }
-    if (mode.legacy) raw_per_tuple = rate;
-    if (!mode.legacy && mode.batch_size >= 64) {
+    if (mode.batch_size == 1) raw_per_tuple = rate;
+    if (mode.batch_size >= 64) {
       raw_best_batched = std::max(raw_best_batched, rate);
     }
     std::printf("%-12s %14.0f\n", mode.name, rate);
     out.AddRow()
         .Add("section", "raw_fanout")
         .Add("mode", mode.name)
-        .Add("batch_size", mode.legacy ? 1 : static_cast<int>(mode.batch_size))
+        .Add("batch_size", static_cast<int>(mode.batch_size))
         .Add("threads", 4)
         .Add("envelopes", kRawEnvelopes)
         .Add("tuples_per_sec", rate);
@@ -472,7 +470,7 @@ int main() {
   std::printf("%-12s", "mode");
   for (uint32_t m : kMachineCounts) std::printf(" %9uJ", m);
   std::printf("   xchg overhead ns/tuple (4J)\n");
-  double per_tuple_4j = 0, batched1_4j = 0;
+  double batched1_4j = 0;
   double best_batched_4j = 0;
   // Best (lowest) 4J overhead across batch-dispatch modes >= 64 (for the
   // vs-per-tuple metric), plus per-size env/batch pairs so the dispatch
@@ -498,11 +496,8 @@ int main() {
               : 0;
       if (machines == 4) {
         overhead_4j = overhead_ns;
-        if (mode.legacy) per_tuple_4j = r.tuples_per_sec;
-        if (!mode.legacy && mode.batch_size == 1) {
-          batched1_4j = r.tuples_per_sec;
-        }
-        if (!mode.legacy && mode.batch_size >= 64) {
+        if (mode.batch_size == 1) batched1_4j = r.tuples_per_sec;
+        if (mode.batch_size >= 64) {
           if (mode.batch_dispatch) {
             best_batched_4j = std::max(best_batched_4j, r.tuples_per_sec);
             if (overhead_batch_ns < 0 || overhead_ns < overhead_batch_ns) {
@@ -520,8 +515,7 @@ int main() {
           .Add("mode", mode.name)
           .Add("dispatch", DispatchName(mode))
           .Add("index", "flat")
-          .Add("batch_size",
-               mode.legacy ? 1 : static_cast<int>(mode.batch_size))
+          .Add("batch_size", static_cast<int>(mode.batch_size))
           .Add("machines", static_cast<int>(machines))
           .Add("tuples", kJoinTuples)
           .Add("tuples_per_sec", r.tuples_per_sec)
@@ -578,7 +572,7 @@ int main() {
   std::printf("\n%-12s %10s %10s %8s   (egress axis, 4J, matchy stream)\n",
               "mode", "poll t/s", "sink t/s", "ratio");
   double egress_ratio_b64 = 0;
-  const char* kEgressModes[] = {"per-tuple", "b64/batch", "b256/batch"};
+  const char* kEgressModes[] = {"batched-1", "b64/batch", "b256/batch"};
   for (const char* mode_name : kEgressModes) {
     const Mode* found = nullptr;
     for (const Mode& m : kJoinModes) {
@@ -608,8 +602,7 @@ int main() {
           .Add("mode", mode.name)
           .Add("dispatch", DispatchName(mode))
           .Add("egress", e == 0 ? "poll" : "sink")
-          .Add("batch_size",
-               mode.legacy ? 1 : static_cast<int>(mode.batch_size))
+          .Add("batch_size", static_cast<int>(mode.batch_size))
           .Add("machines", 4)
           .Add("tuples", kJoinTuples)
           .Add("tuples_per_sec", r.tuples_per_sec)
@@ -688,11 +681,10 @@ int main() {
               static_cast<unsigned long long>(edge_overflow), edge_ring_peak);
 
   // ---- Acceptance summary -------------------------------------------------
-  // "Per-tuple exchange" is every-envelope-ships-alone: the legacy mutex
-  // plane and the batched plane at batch_size 1. The slower end-to-end
-  // number of the two is the per-tuple floor; for the overhead metric the
-  // *faster* one is the (conservative) per-tuple reference.
-  const double per_tuple_best = std::max(per_tuple_4j, batched1_4j);
+  // "Per-tuple exchange" is every-envelope-ships-alone: the batched plane
+  // at batch_size 1 (the reference configuration since the mutex Channel
+  // plane's retirement).
+  const double per_tuple_best = batched1_4j;
   const double raw_speedup =
       raw_per_tuple > 0 ? raw_best_batched / raw_per_tuple : 0;
   const double e2e_speedup =

@@ -15,7 +15,15 @@
 // a live AutoscaleController that must grow on the surge and shrink once
 // the stream goes silent, exporting telemetry whose trace carries both
 // scale events (validate_telemetry.py --require-scale-events enforces it).
+//
+// `--shed <path>` runs the CI overload smoke: a threaded run with a live
+// ShedController that must back the probe-admission rate off when the
+// ingress backlog gauge spikes and restore exactness once it drains,
+// exporting telemetry whose trace carries shed events and whose samples
+// show joiners at a sampled rate (validate_telemetry.py
+// --require-shed-events enforces it).
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -26,7 +34,9 @@
 #include "src/core/autoscale.h"
 #include "src/core/driver.h"
 #include "src/core/operator.h"
+#include "src/core/shed.h"
 #include "src/datagen/workloads.h"
+#include "src/net/message.h"
 #include "src/runtime/metrics_registry.h"
 #include "src/runtime/thread_engine.h"
 #include "src/sim/sim_engine.h"
@@ -132,6 +142,119 @@ int RunAutoscaleExport(const char* path) {
   return (grew && shrank && wrote) ? 0 : 1;
 }
 
+// Overload smoke (--shed): a live ShedController on the threaded engine
+// backs the admission rate off when the ingress backlog gauge spikes
+// mid-stream and walks it back to exact once the backlog drains; the
+// telemetry export must carry shed trace events and mid-shed joiner
+// samples. Exits nonzero if either transition never happened.
+int RunShedExport(const char* path) {
+  Workload w = Workload::Synthetic(/*r_count=*/4000, /*s_count=*/12000,
+                                   24, 24, /*key_domain=*/4000,
+                                   /*zipf=*/0.0, /*seed=*/17);
+  TraceRing trace(1 << 14);
+  MetricsRegistry registry;
+  ThreadEngine engine{ExchangeConfig{}};
+
+  OperatorConfig config;
+  config.spec = w.spec();
+  config.machines = 4;
+  config.adaptive = false;  // static grid: every probe is steady-state gated
+  config.initial = MidMapping(4);
+  config.use_initial = true;
+  config.registry = &registry;
+  config.trace = &trace;
+  JoinOperator op(engine, config);
+  engine.Start();
+
+  TelemetrySampler::Options topts;
+  topts.period_us = 1000;
+  TelemetrySampler sampler(&registry, topts);
+  sampler.SetEdgeSource([&engine] { return engine.edge_stats(); });
+  sampler.SetExchangeSource([&engine] { return engine.exchange_stats(); });
+  sampler.SetTraceSource(&trace);
+  sampler.Start();
+
+  ShedConfig sc;
+  sc.enter_stall_ratio = 0;  // deterministic smoke: backlog gauge triggers
+  sc.enter_backlog = 100;
+  sc.exit_backlog = 10;
+  sc.overload_ticks = 1;
+  sc.recover_ticks = 1;
+  sc.cooldown_ticks = 0;
+  ShedController::Options copts;
+  copts.period_us = 500;
+  ShedController ctl(op, &registry, op.joiner_task_ids(), sc, copts);
+  std::atomic<uint64_t> backlog{0};
+  ctl.SetBacklogSource(
+      [&backlog] { return backlog.load(std::memory_order_relaxed); });
+  ctl.Start();
+
+  const uint32_t exact_ppm = static_cast<uint32_t>(kShedExactPpm);
+  auto joiners_at = [&registry](uint32_t rate) {
+    size_t n = 0;
+    for (const TaskSnapshot& task : registry.Snapshot()) {
+      if (task.kind != TaskKind::kJoiner || !task.joiner.active) continue;
+      ++n;
+      if (task.joiner.shed_rate_ppm != rate) return false;
+    }
+    return n > 0;
+  };
+
+  ArrivalPolicy policy;
+  policy.kind = ArrivalPolicy::Kind::kFluctuating;
+  policy.fluct_k = 4.0;
+  auto source = w.MakeSource(policy);
+  StreamTuple tuple;
+  uint64_t pushed = 0;
+  bool shed_applied = false;
+  const uint64_t half = w.total_count() / 2;
+  while (source->Next(&tuple)) {
+    op.Push(tuple);
+    if (++pushed == half) {
+      // Mid-stream overload: the gauge spikes, the controller must shed,
+      // and the rest of the stream probes under the sampled rate so the
+      // export carries mid-shed joiner samples and skipped-probe counters.
+      backlog.store(100000, std::memory_order_relaxed);
+      shed_applied = PollUntil(
+          [&] { return ctl.rate_ppm() < exact_ppm && joiners_at(ctl.rate_ppm()); },
+          15000);
+    }
+  }
+  op.FlushInput();
+  engine.WaitQuiescent();
+  // Give the sampler a few periods with the joiners still shedding.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Backlog drained: the controller must restore exactness.
+  backlog.store(0, std::memory_order_relaxed);
+  const bool recovered = PollUntil(
+      [&] { return ctl.rate_ppm() == exact_ppm && joiners_at(exact_ppm); },
+      15000);
+  ctl.Stop();
+  op.SendEos();
+  engine.WaitQuiescent();
+  sampler.Stop();
+
+  uint64_t enter_events = 0, exit_events = 0;
+  for (const TraceEvent& ev : trace.Snapshot()) {
+    if (ev.kind == TraceEventKind::kShedEnter) ++enter_events;
+    if (ev.kind == TraceEventKind::kShedExit) ++exit_events;
+  }
+  std::printf("shed smoke: rate changes %llu, shed %s, recovered %s "
+              "(trace: %llu enter, %llu exit events)\n",
+              static_cast<unsigned long long>(ctl.rate_changes()),
+              shed_applied ? "ok" : "MISSING",
+              recovered ? "ok" : "MISSING",
+              static_cast<unsigned long long>(enter_events),
+              static_cast<unsigned long long>(exit_events));
+  const bool wrote = sampler.WriteJson(path, "fluctuating_streams_shed");
+  std::printf("  wrote %s: %s\n", path, wrote ? "ok" : "FAILED");
+  engine.Shutdown();
+  return (shed_applied && recovered && enter_events >= 1 && exit_events >= 1 &&
+          wrote)
+             ? 0
+             : 1;
+}
+
 // Phase 2 (optional, enabled by an output path argument): the same
 // fluctuating workload on the threaded engine with live sampling during
 // migrations, exported as JSON. Small rings + small batches so credit
@@ -199,6 +322,9 @@ int RunThreadedExport(const char* path) {
 int main(int argc, char** argv) {
   if (argc > 2 && std::strcmp(argv[1], "--autoscale") == 0) {
     return RunAutoscaleExport(argv[2]);
+  }
+  if (argc > 2 && std::strcmp(argv[1], "--shed") == 0) {
+    return RunShedExport(argv[2]);
   }
   const double k = 4.0;
   Workload w = Workload::Synthetic(/*r_count=*/120000, /*s_count=*/120000,

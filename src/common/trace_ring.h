@@ -40,6 +40,12 @@ enum class TraceEventKind : uint32_t {
                            // b = machine index)
   kScaleShrink = 5,        // elastic shrink: controller decision / joiner
                            // retirement (payload as kScaleGrow)
+  kShedEnter = 6,          // joiner started probe-side sampling (a = new
+                           // admission rate ppm, b = previous rate ppm)
+  kShedExit = 7,           // joiner restored exact probing (payload as
+                           // kShedEnter)
+  kShedRateChange = 8,     // joiner changed rate while already shedding
+                           // (payload as kShedEnter)
 };
 
 /// One recorded event, as returned by TraceRing::Snapshot.
@@ -61,6 +67,9 @@ inline const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kCreditStall: return "credit_stall";
     case TraceEventKind::kScaleGrow: return "scale_grow";
     case TraceEventKind::kScaleShrink: return "scale_shrink";
+    case TraceEventKind::kShedEnter: return "shed_enter";
+    case TraceEventKind::kShedExit: return "shed_exit";
+    case TraceEventKind::kShedRateChange: return "shed_rate_change";
   }
   return "?";
 }

@@ -1,5 +1,6 @@
 #include "src/core/joiner.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/logging.h"
@@ -16,12 +17,17 @@ JoinerCore::JoinerCore(JoinerConfig config)
                        JoinIndex::ImplFor(config_.use_flat_index)),
              JoinIndex(JoinIndex::KindFor(config_.spec.kind),
                        JoinIndex::ImplFor(config_.use_flat_index))} {
+  // Deterministic per-slot shed sampler: the same slot always draws the
+  // same admission sequence, so sampled runs reproduce given the same
+  // per-edge message order.
+  shed_rng_.Seed(SplitMix64(
+      (static_cast<uint64_t>(config_.group) << 32) | config_.machine_index));
   // Seed the telemetry cell before the first dispatch so samplers see the
   // correct participation flag for slots that have not received a message
   // yet (dormant expansion slots in particular).
   if (config_.telemetry != nullptr) {
     config_.telemetry->PublishJoiner(metrics_, epoch_, migrating_,
-                                     participating());
+                                     participating(), shed_rate_ppm_);
   }
 }
 
@@ -42,6 +48,9 @@ void JoinerCore::OnMessage(Envelope msg, Context& ctx) {
     case MsgType::kEos:
       HandleEos(msg, ctx);
       break;
+    case MsgType::kShed:
+      HandleShed(msg, ctx);
+      break;
     default:
       AJOIN_CHECK_MSG(false, "joiner: unexpected message type");
   }
@@ -51,7 +60,7 @@ void JoinerCore::OnMessage(Envelope msg, Context& ctx) {
   // above; the cell write is the only synchronized step.
   if (config_.telemetry != nullptr) {
     config_.telemetry->PublishJoiner(metrics_, epoch_, migrating_,
-                                     participating());
+                                     participating(), shed_rate_ppm_);
   }
 }
 
@@ -100,7 +109,10 @@ void JoinerCore::OnBatch(TupleBatch batch, Context& ctx) {
           metrics_.in_tuples++;
           metrics_.in_bytes += msg.bytes;
         }
+        if (!AdmitProbe()) continue;
+        emit_weight_ = shed_weight_;
         Probe(msg, Scope::kAll, ctx);
+        emit_weight_ = 1.0;
       }
     }
     // Then the run's inserts, grouped so the index stays hot in cache.
@@ -118,7 +130,7 @@ void JoinerCore::OnBatch(TupleBatch batch, Context& ctx) {
   // envelope through OnMessage).
   if (config_.telemetry != nullptr) {
     config_.telemetry->PublishJoiner(metrics_, epoch_, migrating_,
-                                     participating());
+                                     participating(), shed_rate_ppm_);
   }
 }
 
@@ -177,23 +189,43 @@ void JoinerCore::ProbeRunBatch(const TupleBatch& batch, size_t begin,
   // Steady-state (Scope::kAll) equi probes for one same-relation run,
   // batched so the flat index can pipeline prefetches across the run;
   // candidates go through the same MatchAndEmit body as scalar Probe().
+  // Under shedding the run is first Bernoulli-filtered (probe_idx_ maps the
+  // filtered position back to the batch item); the exact path keeps its
+  // straight-line begin+pi addressing.
   const Rel rel = batch.items[begin].rel;
   const auto opp_i = static_cast<size_t>(Opposite(rel));
+  const bool shed = shedding();
   probe_keys_.clear();
   probe_keys_.reserve(end - begin);
+  if (shed) {
+    probe_idx_.clear();
+    probe_idx_.reserve(end - begin);
+  }
   for (size_t k = begin; k < end; ++k) {
     const Envelope& msg = batch.items[k];
     if (msg.store) {
       metrics_.in_tuples++;
       metrics_.in_bytes += msg.bytes;
     }
+    if (shed && !AdmitProbe()) continue;
     probe_keys_.push_back(msg.key);  // equi ProbeRange is the key itself
+    if (shed) probe_idx_.push_back(k);
   }
   const auto& entries = entries_[opp_i];
-  index_[opp_i].ProbeRun(
-      probe_keys_.data(), probe_keys_.size(), [&](size_t pi, uint64_t id) {
-        MatchAndEmit(batch.items[begin + pi], entries[id], Scope::kAll, ctx);
-      });
+  if (shed) {
+    emit_weight_ = shed_weight_;
+    index_[opp_i].ProbeRun(
+        probe_keys_.data(), probe_keys_.size(), [&](size_t pi, uint64_t id) {
+          MatchAndEmit(batch.items[probe_idx_[pi]], entries[id], Scope::kAll,
+                       ctx);
+        });
+    emit_weight_ = 1.0;
+  } else {
+    index_[opp_i].ProbeRun(
+        probe_keys_.data(), probe_keys_.size(), [&](size_t pi, uint64_t id) {
+          MatchAndEmit(batch.items[begin + pi], entries[id], Scope::kAll, ctx);
+        });
+  }
 }
 
 void JoinerCore::Emit(const Envelope& msg, const StoredEntry& matched,
@@ -242,6 +274,7 @@ void JoinerCore::StageResult(const Envelope& msg, const StoredEntry& matched,
   res.bytes = msg.bytes + matched.bytes;
   res.group = config_.group;
   res.ingest_us = msg.ingest_us;
+  res.weight = emit_weight_;  // 1.0 exact; 1/p under shed-mode probes
   if (msg.has_row && matched.has_row) {
     const Row& r_row = msg_rel == Rel::kR ? msg.row : matched.row;
     const Row& s_row = msg_rel == Rel::kR ? matched.row : msg.row;
@@ -287,7 +320,11 @@ void JoinerCore::HandleData(Envelope& msg, Context& ctx) {
     // Cross-group probe. Grouped operators run with barrier migrations, so
     // probes never overlap an active migration (DESIGN.md section 5).
     AJOIN_CHECK_MSG(!migrating_, "probe during migration (barrier violated)");
-    Probe(msg, Scope::kAll, ctx);
+    if (AdmitProbe()) {
+      emit_weight_ = shed_weight_;
+      Probe(msg, Scope::kAll, ctx);
+      emit_weight_ = 1.0;
+    }
     return;
   }
   metrics_.in_tuples++;
@@ -296,7 +333,16 @@ void JoinerCore::HandleData(Envelope& msg, Context& ctx) {
   if (!migrating_) {
     AJOIN_CHECK_MSG(msg.epoch == epoch_,
                     "new-epoch tuple before its reshuffler signal");
-    Probe(msg, Scope::kAll, ctx);
+    // Shedding gates the probe only: the tuple is still stored exactly, so
+    // join state (and any future migration of it) is unaffected. Each join
+    // pair is produced at exactly one probe site, so Bernoulli(p) admission
+    // here with weight 1/p at emission is an unbiased Horvitz-Thompson
+    // sample of the exact output.
+    if (AdmitProbe()) {
+      emit_weight_ = shed_weight_;
+      Probe(msg, Scope::kAll, ctx);
+      emit_weight_ = 1.0;
+    }
     Store(msg, kOriginData, msg.epoch);
     return;
   }
@@ -553,6 +599,43 @@ void JoinerCore::FinalizeMigration(Context& ctx) {
 
 void JoinerCore::HandleEos(Envelope& msg, Context& ctx) {
   ++eos_seen_;
+}
+
+// ---------------------------------------------------------------------------
+// Load shedding (overload survival)
+// ---------------------------------------------------------------------------
+
+bool JoinerCore::AdmitProbe() {
+  if (shed_rate_ppm_ >= kShedExactPpm) return true;
+  // Integer-exact Bernoulli(rate/1e6) draw from the per-slot deterministic
+  // stream; a skipped probe is counted but its tuple is stored normally.
+  if (shed_rng_.Uniform(static_cast<uint64_t>(kShedExactPpm)) <
+      shed_rate_ppm_) {
+    return true;
+  }
+  metrics_.shed_probes_skipped++;
+  return false;
+}
+
+void JoinerCore::HandleShed(Envelope& msg, Context& ctx) {
+  // Admission-rate change. Every reshuffler forwards the controller's kShed
+  // to every allocated joiner so the new rate serializes behind each data
+  // edge, which means the same rate arrives num_reshufflers times — act
+  // (and trace) only on an actual change. Clamped to [1, kShedExactPpm]:
+  // probability zero would make the Horvitz-Thompson weight infinite.
+  const uint32_t rate = static_cast<uint32_t>(
+      std::min<int64_t>(std::max<int64_t>(msg.key, 1), kShedExactPpm));
+  if (rate == shed_rate_ppm_) return;
+  const uint32_t prev = shed_rate_ppm_;
+  shed_rate_ppm_ = rate;
+  shed_weight_ = static_cast<double>(kShedExactPpm) / rate;
+  if (config_.trace != nullptr) {
+    const TraceEventKind kind =
+        prev >= kShedExactPpm    ? TraceEventKind::kShedEnter
+        : rate >= kShedExactPpm  ? TraceEventKind::kShedExit
+                                 : TraceEventKind::kShedRateChange;
+    config_.trace->Record(kind, ctx.self(), ctx.NowMicros(), rate, prev);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/random.h"
 #include "src/core/migration.h"
 #include "src/core/partition.h"
 #include "src/localjoin/join_index.h"
@@ -97,6 +98,11 @@ class JoinerCore : public Task {
   }
   uint32_t epoch() const { return epoch_; }
   bool migrating() const { return migrating_; }
+  /// Current probe admission rate in parts-per-million (kShedExactPpm =
+  /// exact probing, i.e. shedding off).
+  uint32_t shed_rate_ppm() const { return shed_rate_ppm_; }
+  /// True while probe-side sampling is active.
+  bool shedding() const { return shed_rate_ppm_ < kShedExactPpm; }
   const GridLayout& layout() const { return layout_; }
   uint64_t stored_count(Rel rel) const {
     return entries_[static_cast<size_t>(rel)].size();
@@ -151,6 +157,10 @@ class JoinerCore : public Task {
   void HandleMigEnd(Envelope& msg, Context& ctx);
   void HandleSignal(Envelope& msg, Context& ctx);
   void HandleEos(Envelope& msg, Context& ctx);
+  void HandleShed(Envelope& msg, Context& ctx);
+  // Bernoulli probe admission under shedding (always true when exact);
+  // a skipped probe bumps metrics_.shed_probes_skipped.
+  bool AdmitProbe();
 
   void StartMigration(const EpochSpec& spec, Context& ctx);
   void SendOldStateForMigration(Context& ctx);
@@ -202,10 +212,20 @@ class JoinerCore : public Task {
                                  // transiently via early arrivals)
   uint32_t early_migend_ = 0;    // MigEnds received before the plan existed
 
+  // Load shedding (overload survival): only steady-state probes are gated —
+  // stores and every migration-scoped probe (Δ/Δ'/µ) stay exact, so Alg. 3
+  // state movement is untouched. Emitted results carry Horvitz-Thompson
+  // weight 1/p (= shed_weight_) so weighted aggregates stay unbiased.
+  uint32_t shed_rate_ppm_ = static_cast<uint32_t>(kShedExactPpm);
+  double shed_weight_ = 1.0;  // 1 / admission probability
+  double emit_weight_ = 1.0;  // weight StageResult stamps on staged results
+  Rng shed_rng_;              // deterministic per-slot admission sampler
+
   uint32_t eos_seen_ = 0;
   uint64_t output_count_ = 0;
   TupleBatch egress_;                // staged kResult run (one dispatch)
   std::vector<int64_t> probe_keys_;  // batched-probe scratch (one run)
+  std::vector<size_t> probe_idx_;    // shed scratch: run pos -> batch item
   std::vector<std::pair<uint64_t, uint64_t>> pairs_;
   JoinerMetrics metrics_;
 };

@@ -186,6 +186,20 @@ bool JoinOperator::GrowJoiners(uint32_t steps) {
   return PostScale(static_cast<int64_t>(steps));
 }
 
+bool JoinOperator::SetShedRate(uint32_t rate_ppm) {
+  // Rides the same dedicated single-producer control lane as scale requests
+  // (Port() belongs to the Push driver thread; a shed policy thread must
+  // not touch it). scale_mu_ serializes concurrent control callers.
+  std::lock_guard<std::mutex> lock(scale_mu_);
+  if (scale_port_ == nullptr) {
+    scale_port_ = engine_.OpenIngress(reshuffler_ids_[0]);
+  }
+  Envelope env;
+  env.type = MsgType::kShed;
+  env.key = static_cast<int64_t>(rate_ppm);
+  return scale_port_->Post(reshuffler_ids_[0], std::move(env));
+}
+
 bool JoinOperator::ShrinkJoiners(uint32_t steps) {
   return PostScale(-static_cast<int64_t>(steps));
 }

@@ -182,6 +182,19 @@ class Operator {
     return false;
   }
 
+  /// Overload survival: requests a probe-admission rate change, broadcast to
+  /// every allocated joiner as a kShed control message. `rate_ppm` is the
+  /// admitted probe fraction in parts-per-million (kShedExactPpm or more
+  /// restores exact probing); shed-mode joiners Bernoulli-sample steady-state
+  /// probes at that rate and stamp emitted results with Horvitz-Thompson
+  /// weight 1/p. Stores and migrations stay exact. Thread-safe against the
+  /// Push producer; safe to call from a policy thread while the stream runs.
+  /// Returns false when the operator has no shedding path.
+  virtual bool SetShedRate(uint32_t rate_ppm) {
+    (void)rate_ppm;
+    return false;
+  }
+
   /// Joiner introspection (engine must be quiescent): per-slot cores, the
   /// number of allocated slots, and the input-sequence counter.
   virtual const JoinerCore& joiner(size_t i) const = 0;
@@ -249,6 +262,11 @@ class JoinOperator : public Operator {
   /// Queues `steps` /4 shrink steps (same path and requirements as
   /// GrowJoiners; the controller refuses to shrink below 4 machines).
   bool ShrinkJoiners(uint32_t steps) override;
+
+  /// Posts a kShed admission-rate change through the dedicated control lane
+  /// (see Operator::SetShedRate). Unlike scaling, shedding needs no slot
+  /// headroom or single-group layout, so every JoinOperator supports it.
+  bool SetShedRate(uint32_t rate_ppm) override;
 
   /// Marks this operator as a cascade stage: every reshuffler accepts
   /// kResult envelopes from an upstream stage's egress as relation `rel`

@@ -109,6 +109,34 @@ void ReshufflerCore::OnMessage(Envelope msg, Context& ctx) {
       }
       break;
     }
+    case MsgType::kShed: {
+      // Admission-rate change (operator facade / shed controller). The
+      // operator posts to reshuffler 0 only; it fans one copy to every peer,
+      // and every reshuffler then forwards to every allocated joiner — so
+      // the rate change trails, on each reshuffler->joiner edge, all data
+      // that reshuffler routed under the previous rate. Joiners absorb the
+      // num_reshufflers duplicate copies idempotently. No migration state
+      // is involved, so no controller, barrier, or ack round is needed.
+      if (config_.index == 0) {
+        for (uint32_t r = 1; r < config_.num_reshufflers; ++r) {
+          Envelope shed;
+          shed.type = MsgType::kShed;
+          shed.key = msg.key;
+          ctx.Send(config_.reshuffler_task_base + static_cast<int>(r),
+                   std::move(shed));
+        }
+      }
+      for (const GroupRoute& g : groups_) {
+        for (uint32_t p = 0; p < g.block.alloc_machines; ++p) {
+          Envelope shed;
+          shed.type = MsgType::kShed;
+          shed.key = msg.key;
+          ctx.Send(g.block.joiner_task_base + static_cast<int>(p),
+                   std::move(shed));
+        }
+      }
+      break;
+    }
     default:
       AJOIN_CHECK_MSG(false, "reshuffler: unexpected message type");
   }

@@ -25,8 +25,8 @@
 // observing a non-empty overflow (the ov_count acquire synchronizes with the
 // spill, making the producer's older ring pushes visible), so a stale
 // ring-empty snapshot cannot let overflow overtake the ring. Cross-edge
-// arrival order at a consumer is unspecified, exactly as with the legacy
-// mutex channels — the migration protocol only relies on per-edge FIFO.
+// arrival order at a consumer is unspecified — the migration protocol only
+// relies on per-edge FIFO.
 
 #pragma once
 
@@ -224,7 +224,7 @@ class ExchangePlane {
   /// from producer threads mid-send with no plane locks held; must be cheap,
   /// idempotent, and tolerate concurrent invocations for different
   /// consumers. Set once before Start-time traffic; unset means dormancy is
-  /// never observed (legacy engines).
+  /// never observed.
   void SetWakeHook(std::function<void(int)> hook) {
     wake_hook_ = std::move(hook);
   }

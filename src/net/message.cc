@@ -16,6 +16,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kCheckpoint: return "Checkpoint";
     case MsgType::kResult: return "Result";
     case MsgType::kScale: return "Scale";
+    case MsgType::kShed: return "Shed";
   }
   return "?";
 }

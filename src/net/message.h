@@ -28,18 +28,30 @@ enum class MsgType : uint8_t {
   kCheckpoint,    // driver -> controller: barrier-mode migration checkpoint
   kResult,        // joiner -> sink / next stage: one join result (epoch-
                   // agnostic; field use: key = join key, seq = r_seq,
-                  // tag = s_seq, bytes = r+s bytes, row = r_row ++ s_row)
+                  // tag = s_seq, bytes = r+s bytes, row = r_row ++ s_row,
+                  // weight = Horvitz-Thompson weight, 1.0 unless the
+                  // emitting joiner was shedding)
   kScale,         // operator/autoscaler -> controller reshuffler: elastic
                   // scale request; key = signed step count (+k = k grow
                   // steps of 4x, -k = k shrink steps of /4). Control: cuts
                   // batches and serializes behind routed data on the
                   // ingress edge.
+  kShed,          // operator/shed controller -> reshufflers -> joiners:
+                  // admission-rate change; key = admitted probe fraction in
+                  // parts-per-million (kShedExactPpm = shedding off).
+                  // Control: cuts batches and serializes behind routed data
+                  // on every edge it travels, so a rate change can never
+                  // overtake the tuples admitted under the previous rate.
 };
 
 /// Number of MsgType values. Keep in lockstep with the enum above; the
 /// message tests assert MsgTypeName covers exactly this many values, so an
 /// unnamed (or uncounted) type cannot ship.
-constexpr uint8_t kNumMsgTypes = 12;
+constexpr uint8_t kNumMsgTypes = 13;
+
+/// kShed rate denominator: a kShed message with key == kShedExactPpm (or any
+/// larger value) restores exact, unsampled probing.
+constexpr int64_t kShedExactPpm = 1000000;
 
 const char* MsgTypeName(MsgType type);
 
@@ -66,6 +78,10 @@ struct Envelope {
   uint32_t group = 0;   // target group (kData/kMigrate)
   bool store = true;    // store-and-join vs probe-only (cross-group probes)
   uint64_t ingest_us = 0;  // arrival timestamp for latency measurement
+  /// kResult only: Horvitz-Thompson weight. Exact results carry 1.0; a
+  /// joiner probing at admission rate p stamps 1/p, so any downstream
+  /// weighted aggregate stays an unbiased estimator of the exact join.
+  double weight = 1.0;
   bool has_row = false;
   Row row;
 

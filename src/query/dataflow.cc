@@ -12,8 +12,12 @@ void ResultSink::OnMessage(Envelope msg, Context& ctx) {
   AJOIN_CHECK_MSG(msg.type == MsgType::kResult,
                   "ResultSink: unexpected message type");
   ++count_;
+  weighted_count_ += msg.weight;
   total_bytes_ += msg.bytes;
   if (options_.collect_pairs) pairs_.emplace_back(msg.seq, msg.tag);
+  if (options_.collect_keyed_weights) {
+    keyed_weights_.emplace_back(msg.key, msg.weight);
+  }
   if (options_.collect_rows) {
     AJOIN_CHECK_MSG(msg.has_row, "collect_rows sink fed row-less results");
     rows_.push_back(std::move(msg.row));
@@ -124,6 +128,43 @@ AutoscaleController& Dataflow::autoscale(int handle) {
   AJOIN_CHECK_MSG(stage.autoscale != nullptr,
                   "autoscale(): stage has no controller");
   return *stage.autoscale;
+}
+
+ShedController& Dataflow::SetShedding(int handle, ShedConfig config,
+                                      ShedController::Options options) {
+  AJOIN_CHECK_MSG(handle >= 0 && handle < static_cast<int>(stages_.size()),
+                  "SetShedding: unknown stage");
+  Stage& stage = stages_[static_cast<size_t>(handle)];
+  AJOIN_CHECK_MSG(stage.op != nullptr, "SetShedding: not a join stage");
+  AJOIN_CHECK_MSG(stage.registry != nullptr,
+                  "SetShedding: stage has no telemetry registry (call "
+                  "SetTelemetry before AddJoin)");
+  AJOIN_CHECK_MSG(stage.shed == nullptr,
+                  "SetShedding: stage already has a shed controller");
+  stage.shed = std::make_unique<ShedController>(
+      *stage.op, stage.registry, stage.op->joiner_task_ids(), config, options);
+  return *stage.shed;
+}
+
+void Dataflow::StartShedding() {
+  for (Stage& stage : stages_) {
+    if (stage.shed != nullptr) stage.shed->Start();
+  }
+}
+
+void Dataflow::StopShedding() {
+  for (Stage& stage : stages_) {
+    if (stage.shed != nullptr) stage.shed->Stop();
+  }
+}
+
+ShedController& Dataflow::shedding(int handle) {
+  AJOIN_CHECK_MSG(handle >= 0 && handle < static_cast<int>(stages_.size()),
+                  "shedding(): unknown stage");
+  Stage& stage = stages_[static_cast<size_t>(handle)];
+  AJOIN_CHECK_MSG(stage.shed != nullptr,
+                  "shedding(): stage has no shed controller");
+  return *stage.shed;
 }
 
 void Dataflow::FlushInput() {

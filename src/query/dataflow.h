@@ -28,6 +28,7 @@
 
 #include "src/core/autoscale.h"
 #include "src/core/operator.h"
+#include "src/core/shed.h"
 #include "src/runtime/task.h"
 
 namespace ajoin {
@@ -43,6 +44,10 @@ class ResultSink : public Task {
     bool collect_pairs = true;
     /// Record result rows (rows) — requires upstream joiners to keep rows.
     bool collect_rows = false;
+    /// Record per-result (join key, Horvitz-Thompson weight) samples so
+    /// weighted per-key frequency estimates can be checked against the
+    /// exact join (shed-mode statistical tests).
+    bool collect_keyed_weights = false;
   };
 
   /// Constructs a sink recording pair identities only.
@@ -56,6 +61,10 @@ class ResultSink : public Task {
 
   /// Results received so far (quiescent engine).
   uint64_t count() const { return count_; }
+  /// Sum of received Horvitz-Thompson weights: an unbiased estimator of the
+  /// exact output cardinality whether or not upstream joiners were shedding
+  /// (every exact result contributes 1.0).
+  double weighted_count() const { return weighted_count_; }
   /// Sum of received result byte sizes (r bytes + s bytes per result).
   uint64_t total_bytes() const { return total_bytes_; }
   /// All received (r_seq, s_seq) identities, sorted — directly comparable
@@ -63,13 +72,20 @@ class ResultSink : public Task {
   std::vector<std::pair<uint64_t, uint64_t>> SortedPairs() const;
   /// Received result rows (collect_rows mode), in arrival order.
   const std::vector<Row>& rows() const { return rows_; }
+  /// Received (join key, weight) samples (collect_keyed_weights mode), in
+  /// arrival order.
+  const std::vector<std::pair<int64_t, double>>& keyed_weights() const {
+    return keyed_weights_;
+  }
 
  private:
   Options options_;
   uint64_t count_ = 0;
+  double weighted_count_ = 0;
   uint64_t total_bytes_ = 0;
   std::vector<std::pair<uint64_t, uint64_t>> pairs_;
   std::vector<Row> rows_;
+  std::vector<std::pair<int64_t, double>> keyed_weights_;
 };
 
 /// Builder/owner of a multi-stage streaming topology on one engine.
@@ -154,6 +170,25 @@ class Dataflow {
   /// The controller attached to stage `handle` (must exist).
   AutoscaleController& autoscale(int handle);
 
+  /// Attaches an overload-shedding controller to join stage `handle` (see
+  /// src/core/shed.h): it watches the stage's joiners through the telemetry
+  /// registry and adapts the probe-admission rate at runtime. Call after
+  /// AddJoin and before StartShedding; returns the controller so callers
+  /// can bind exchange-stats / ingress-backlog sources for the triggers.
+  ShedController& SetShedding(int handle, ShedConfig config,
+                              ShedController::Options options = {});
+
+  /// Starts every attached shed controller's policy thread. Call after
+  /// Engine::Start().
+  void StartShedding();
+
+  /// Stops every attached shed controller. Call before tearing down the
+  /// engine; idempotent. The last posted rate stays in effect.
+  void StopShedding();
+
+  /// The shed controller attached to stage `handle` (must exist).
+  ShedController& shedding(int handle);
+
   /// Flushes staged input on every join stage (call before WaitQuiescent).
   void FlushInput();
 
@@ -171,6 +206,7 @@ class Dataflow {
     int sink_task = -1;
     MetricsRegistry* registry = nullptr;  // effective registry for the stage
     std::unique_ptr<AutoscaleController> autoscale;
+    std::unique_ptr<ShedController> shed;
     bool connected_out = false;
     bool connected_in = false;  // join stages: at most one result edge in
   };

@@ -29,6 +29,9 @@ struct JoinerMetrics {
   uint64_t mig_in_bytes = 0;
   uint64_t discarded_tuples = 0;
   uint64_t migrations_finalized = 0;
+  // Load shedding: probe-side tuples whose probe was skipped by Bernoulli
+  // sampling (the tuples themselves were still stored exactly).
+  uint64_t shed_probes_skipped = 0;
   // Current / peak storage.
   uint64_t stored_tuples = 0;
   uint64_t stored_bytes = 0;

@@ -179,6 +179,9 @@ void AppendTask(std::string* out, const TaskSnapshot& task) {
     AppendKv(out, "migrating", static_cast<uint64_t>(j.migrating ? 1 : 0),
              &first);
     AppendKv(out, "active", static_cast<uint64_t>(j.active ? 1 : 0), &first);
+    AppendKv(out, "shed_probes_skipped", j.shed_probes_skipped, &first);
+    AppendKv(out, "shed_rate_ppm", static_cast<uint64_t>(j.shed_rate_ppm),
+             &first);
   } else {
     const ReshufflerSnapshot& r = task.reshuffler;
     AppendKv(out, "routed_tuples", r.routed_tuples, &first);

@@ -104,6 +104,9 @@ struct JoinerSnapshot {
   uint64_t peak_stored_bytes = 0;
   uint64_t latency_count = 0;    // emitted-result latency samples
   double latency_sum_us = 0;     // sum of those samples (mean = sum/count)
+  uint64_t shed_probes_skipped = 0;  // probes skipped by load shedding
+  uint32_t shed_rate_ppm = 1000000;  // admitted probe fraction (ppm; 1e6 =
+                                     // exact, anything lower = shedding)
   uint32_t epoch = 0;            // partitioning epoch the joiner is in
   bool migrating = false;        // mid-migration right now?
   bool active = false;           // inside the group's live grid (elastic
@@ -134,15 +137,16 @@ class TaskTelemetry {
  public:
   /// Payload width in words (shared by both task kinds; the wider joiner
   /// layout sets the size).
-  static constexpr size_t kWords = 18;
+  static constexpr size_t kWords = 20;
 
-  /// Publishes a joiner's counters plus epoch / migration / participation
-  /// state. `active` is whether the joiner is inside its group's live grid —
-  /// elastic scaling flips it at activation/retirement so exports can
-  /// tombstone retired slots instead of dropping their counters. Call from
-  /// the owning task's thread only.
+  /// Publishes a joiner's counters plus epoch / migration / participation /
+  /// shedding state. `active` is whether the joiner is inside its group's
+  /// live grid — elastic scaling flips it at activation/retirement so
+  /// exports can tombstone retired slots instead of dropping their counters.
+  /// `shed_rate_ppm` is the admitted probe fraction in parts-per-million
+  /// (1e6 = exact probing). Call from the owning task's thread only.
   void PublishJoiner(const JoinerMetrics& m, uint32_t epoch, bool migrating,
-                     bool active) {
+                     bool active, uint32_t shed_rate_ppm = 1000000) {
     uint64_t w[kWords];
     w[0] = m.in_tuples;
     w[1] = m.in_bytes;
@@ -163,6 +167,8 @@ class TaskTelemetry {
     w[15] = epoch;
     w[16] = migrating ? 1 : 0;
     w[17] = active ? 1 : 0;
+    w[18] = m.shed_probes_skipped;
+    w[19] = shed_rate_ppm;
     cell_.Publish(w);
   }
 
@@ -203,6 +209,12 @@ class TaskTelemetry {
     s.epoch = static_cast<uint32_t>(w[15]);
     s.migrating = w[16] != 0;
     s.active = w[17] != 0;
+    s.shed_probes_skipped = w[18];
+    // A never-published cell reads all-zero words; rate 0 is unreachable
+    // (admission probabilities are clamped positive so HT weights stay
+    // finite), so decode it as "exact" instead of "shedding everything".
+    s.shed_rate_ppm =
+        w[19] == 0 ? 1000000u : static_cast<uint32_t>(w[19]);
     return s;
   }
 

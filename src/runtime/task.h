@@ -120,7 +120,7 @@ struct IngressPortStats {
 /// buffered and unregisters from the engine).
 ///
 /// Post/PostBatch after Engine::Shutdown() reject cleanly: they return
-/// false and drop the message, matching Channel::Push post-Close semantics
+/// false and drop the message, preserving clean post-Shutdown semantics
 /// (the workers that would deliver it are gone, so rejecting is the only
 /// honest answer). Posting *concurrently* with Shutdown is a caller bug —
 /// stop or join producers first.

@@ -40,35 +40,10 @@ class ThreadEngine::BatchedContext : public Context {
   ExchangePlane::Outbox* outbox_;
 };
 
-class ThreadEngine::LegacyContext : public Context {
- public:
-  LegacyContext(ThreadEngine* engine, int self)
-      : engine_(engine), self_(self) {}
-
-  int self() const override { return self_; }
-
-  void Send(int to, Envelope msg) override {
-    msg.from = self_;
-    engine_->IncInflight();
-    // A rejected push (channel already closed) must undo the accounting or
-    // quiescence waits forever on a message that no longer exists.
-    if (!engine_->channels_[static_cast<size_t>(to)]->Push(std::move(msg))) {
-      engine_->DecInflight();
-    }
-  }
-
-  uint64_t NowMicros() const override { return engine_->NowMicros(); }
-
- private:
-  ThreadEngine* engine_;
-  int self_;
-};
-
-// One ingress lane. Batched plane: owns a dedicated external producer slot
-// (outbox_), so each port has private rings/batchers/credits; mu_ only
-// serializes the port's producer against the engine's WaitQuiescent sweep —
-// two ports never share a lock. Legacy plane: outbox_ is null and posts take
-// the shared channel/throttle path (the handle is a compatibility veneer).
+// One ingress lane: owns a dedicated external producer slot (outbox_), so
+// each port has private rings/batchers/credits; mu_ only serializes the
+// port's producer against the engine's WaitQuiescent sweep — two ports
+// never share a lock.
 class ThreadEngine::PortImpl : public IngressPort {
  public:
   PortImpl(ThreadEngine* engine, int to, ExchangePlane::Outbox* outbox,
@@ -99,7 +74,7 @@ class ThreadEngine::PortImpl : public IngressPort {
     s.posted_envelopes = posted_envelopes_.load(std::memory_order_relaxed);
     s.posted_batches = posted_batches_.load(std::memory_order_relaxed);
     s.rejected_posts = rejected_posts_.load(std::memory_order_relaxed);
-    if (outbox_ != nullptr && engine_->plane_ != nullptr) {
+    if (engine_->plane_ != nullptr) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         s.backlog = outbox_->PendingEnvelopes();
@@ -116,7 +91,7 @@ class ThreadEngine::PortImpl : public IngressPort {
 
   ThreadEngine* engine_;
   const int to_;
-  ExchangePlane::Outbox* outbox_;  // null on the legacy plane
+  ExchangePlane::Outbox* outbox_;
   const size_t slot_;   // producer slot, returned to the free list on close
   mutable std::mutex mu_;  // this port's producer vs sweeps and stats()
   uint64_t posts_ = 0;  // amortized deadline-sweep counter (guarded by mu_)
@@ -129,10 +104,7 @@ class ThreadEngine::PortImpl : public IngressPort {
 ThreadEngine::ThreadEngine() : ThreadEngine(ExchangeConfig{}) {}
 
 ThreadEngine::ThreadEngine(const ExchangeConfig& config)
-    : mode_(ExchangeMode::kBatched), exchange_config_(config) {}
-
-ThreadEngine::ThreadEngine(size_t max_inflight)
-    : mode_(ExchangeMode::kLegacyChannel), max_inflight_(max_inflight) {}
+    : exchange_config_(config) {}
 
 ThreadEngine::~ThreadEngine() { Shutdown(); }
 
@@ -141,27 +113,20 @@ uint64_t ThreadEngine::NowMicros() const { return SteadyNowMicros(); }
 int ThreadEngine::AddTask(std::unique_ptr<Task> task) {
   AJOIN_CHECK_MSG(!started_, "AddTask after Start");
   tasks_.push_back(std::move(task));
-  if (mode_ == ExchangeMode::kLegacyChannel) {
-    channels_.push_back(std::make_unique<Channel>());
-  }
   return static_cast<int>(tasks_.size()) - 1;
 }
 
 void ThreadEngine::Start() {
   AJOIN_CHECK_MSG(!started_, "double Start");
   started_ = true;
-  if (mode_ == ExchangeMode::kBatched) {
-    plane_ =
-        std::make_unique<ExchangePlane>(tasks_.size(), exchange_config_);
-    plane_->SetWakeHook([this](int id) { WakeTask(id); });
-  }
+  plane_ = std::make_unique<ExchangePlane>(tasks_.size(), exchange_config_);
+  plane_->SetWakeHook([this](int id) { WakeTask(id); });
   worker_slots_ = std::vector<WorkerSlot>(tasks_.size());
   std::lock_guard<std::mutex> lock(workers_mu_);
   for (size_t i = 0; i < tasks_.size(); ++i) {
     // Dormant tasks (elastic-scaling spare slots) get no thread up front;
     // the plane's dormant-wake hook spawns one on their first message.
-    // Legacy mode ignores dormancy: every task gets a permanent worker.
-    if (mode_ == ExchangeMode::kBatched && tasks_[i]->dormant()) {
+    if (tasks_[i]->dormant()) {
       plane_->MarkDormant(static_cast<int>(i));
       continue;
     }
@@ -176,13 +141,7 @@ void ThreadEngine::SpawnWorkerLocked(int id) {
   slot.wake_pending = false;
   if (plane_ != nullptr) plane_->ClearDormant(id);
   activations_.fetch_add(1, std::memory_order_relaxed);
-  slot.thread = std::thread([this, id] {
-    if (mode_ == ExchangeMode::kBatched) {
-      WorkerLoop(id);
-    } else {
-      LegacyWorkerLoop(id);
-    }
-  });
+  slot.thread = std::thread([this, id] { WorkerLoop(id); });
 }
 
 void ThreadEngine::WakeTask(int id) {
@@ -208,7 +167,7 @@ void ThreadEngine::WakeTask(int id) {
 void ThreadEngine::ActivateTask(int id) {
   AJOIN_CHECK_MSG(id >= 0 && id < static_cast<int>(tasks_.size()),
                   "ActivateTask: unknown task");
-  if (mode_ != ExchangeMode::kBatched || plane_ == nullptr) return;
+  if (plane_ == nullptr) return;  // before Start
   WakeTask(id);
 }
 
@@ -258,13 +217,7 @@ std::unique_ptr<IngressPort> ThreadEngine::OpenIngress(int to) {
                   "OpenIngress: unknown destination task");
   AJOIN_CHECK_MSG(!shut_down_.load(std::memory_order_acquire),
                   "OpenIngress after Shutdown");
-  if (mode_ == ExchangeMode::kLegacyChannel) {
-    auto port = std::make_unique<PortImpl>(this, to, nullptr, /*slot=*/0);
-    std::lock_guard<std::mutex> lock(ports_mu_);
-    ports_.push_back(port.get());
-    return port;
-  }
-  AJOIN_CHECK_MSG(started_, "OpenIngress before Start (batched plane)");
+  AJOIN_CHECK_MSG(started_, "OpenIngress before Start");
   std::lock_guard<std::mutex> lock(ports_mu_);
   // Closed ports return their slot, so max_ingress_ports bounds
   // *concurrently open* ports, not total opens over the engine's lifetime.
@@ -295,14 +248,6 @@ bool ThreadEngine::PortPost(PortImpl& port, int to, Envelope msg) {
     port.rejected_posts_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  if (port.outbox_ == nullptr) {
-    if (!LegacyPost(to, std::move(msg))) {
-      port.rejected_posts_.fetch_add(1, std::memory_order_relaxed);
-      return false;
-    }
-    port.posted_envelopes_.fetch_add(1, std::memory_order_relaxed);
-    return true;
-  }
   port.posted_envelopes_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(port.mu_);
   // Per-edge credit backpressure: Send blocks (inside the plane) only when
@@ -329,19 +274,6 @@ bool ThreadEngine::PortPostBatch(PortImpl& port, int to, TupleBatch&& batch) {
     return false;
   }
   const uint64_t n_envelopes = batch.size();
-  if (port.outbox_ == nullptr) {
-    // Legacy plane: per-envelope pushes, preserving order on the channel.
-    for (Envelope& msg : batch.items) {
-      if (!LegacyPost(to, std::move(msg))) {
-        port.rejected_posts_.fetch_add(1, std::memory_order_relaxed);
-        return false;
-      }
-    }
-    batch.Clear();
-    port.posted_envelopes_.fetch_add(n_envelopes, std::memory_order_relaxed);
-    port.posted_batches_.fetch_add(1, std::memory_order_relaxed);
-    return true;
-  }
   port.posted_envelopes_.fetch_add(n_envelopes, std::memory_order_relaxed);
   port.posted_batches_.fetch_add(1, std::memory_order_relaxed);
   bool pure_data = true;
@@ -371,14 +303,13 @@ bool ThreadEngine::PortPostBatch(PortImpl& port, int to, TupleBatch&& batch) {
 }
 
 void ThreadEngine::PortFlush(PortImpl& port) {
-  if (port.outbox_ == nullptr) return;  // legacy plane never buffers
   if (shut_down_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(port.mu_);
   port.outbox_->FlushAll();
 }
 
 void ThreadEngine::ClosePort(PortImpl* port) {
-  if (started_ && port->outbox_ != nullptr) {
+  if (started_) {
     std::lock_guard<std::mutex> lock(port->mu_);
     if (!shut_down_.load(std::memory_order_acquire)) {
       // Last-chance flush so a dropped port cannot strand counted
@@ -396,15 +327,12 @@ void ThreadEngine::ClosePort(PortImpl* port) {
   }
   std::lock_guard<std::mutex> lock(ports_mu_);
   ports_.erase(std::remove(ports_.begin(), ports_.end(), port), ports_.end());
-  if (port->outbox_ != nullptr) {
-    free_port_slots_.push_back(port->slot_);
-  }
+  free_port_slots_.push_back(port->slot_);
 }
 
 void ThreadEngine::FlushAllPorts() {
   std::lock_guard<std::mutex> reg_lock(ports_mu_);
   for (PortImpl* port : ports_) {
-    if (port->outbox_ == nullptr) continue;
     std::lock_guard<std::mutex> lock(port->mu_);
     port->outbox_->FlushAll();
   }
@@ -453,17 +381,6 @@ void ThreadEngine::WorkerLoop(int id) {
   }
 }
 
-void ThreadEngine::LegacyWorkerLoop(int id) {
-  Channel& channel = *channels_[static_cast<size_t>(id)];
-  LegacyContext ctx(this, id);
-  while (true) {
-    std::optional<Envelope> msg = channel.Pop();
-    if (!msg.has_value()) return;  // closed and drained
-    tasks_[static_cast<size_t>(id)]->OnMessage(std::move(*msg), ctx);
-    DecInflight();
-  }
-}
-
 void ThreadEngine::IncInflight(uint64_t n) {
   inflight_.fetch_add(n, std::memory_order_relaxed);
 }
@@ -472,35 +389,11 @@ void ThreadEngine::DecInflight(uint64_t n) {
   if (inflight_.fetch_sub(n, std::memory_order_acq_rel) == n) {
     std::lock_guard<std::mutex> lock(idle_mu_);
     idle_cv_.notify_all();
-    throttle_cv_.notify_all();
-  } else if (mode_ == ExchangeMode::kLegacyChannel &&
-             inflight_.load(std::memory_order_relaxed) < max_inflight_) {
-    throttle_cv_.notify_one();
   }
-}
-
-bool ThreadEngine::LegacyPost(int to, Envelope msg) {
-  {
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    // ajoin-lint: external-block — legacy ingress throttle; only callers
-    // outside the task graph (no task id) reach this, so it cannot
-    // participate in a producer/consumer credit cycle.
-    throttle_cv_.wait(lock, [this] {
-      return inflight_.load(std::memory_order_relaxed) < max_inflight_;
-    });
-  }
-  IncInflight();
-  // A push the closed channel rejected (post-Shutdown) is dropped; undo the
-  // accounting and report the rejection.
-  if (!channels_[static_cast<size_t>(to)]->Push(std::move(msg))) {
-    DecInflight();
-    return false;
-  }
-  return true;
 }
 
 void ThreadEngine::WaitQuiescent() {
-  if (mode_ == ExchangeMode::kBatched && plane_ != nullptr) {
+  if (plane_ != nullptr) {
     // Re-sweep every registered ingress port periodically while waiting:
     // a producer may Post (and buffer) after our flush, and only the
     // owning port or this sweep ever ships a port's partial batches.
@@ -516,6 +409,7 @@ void ThreadEngine::WaitQuiescent() {
       }
     }
   }
+  // Before Start there are no ports to sweep; a plain wait suffices.
   std::unique_lock<std::mutex> lock(idle_mu_);
   // ajoin-lint: external-block — quiescence barrier for the driving thread;
   // workers never call this, so it cannot deadlock the task graph.
@@ -537,11 +431,7 @@ void ThreadEngine::Shutdown() {
     std::lock_guard<std::mutex> lock(workers_mu_);
     closing_ = true;
   }
-  if (mode_ == ExchangeMode::kBatched) {
-    plane_->Close();
-  } else {
-    for (auto& channel : channels_) channel->Close();
-  }
+  plane_->Close();
   for (WorkerSlot& slot : worker_slots_) {
     std::thread t;
     {

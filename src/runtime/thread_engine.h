@@ -1,25 +1,18 @@
-// Multithreaded engine: one worker thread per task. Two exchange planes sit
-// behind the same Engine interface:
+// Multithreaded engine: one worker thread per task, on the src/exchange/
+// data plane — per-edge bounded lock-free SPSC rings carrying TupleBatches,
+// with size/deadline/control batching and credit-based backpressure. A slow
+// joiner stalls only the edges feeding it; the driver blocks only when the
+// specific ingress edge it is posting on is out of credits. Consumed batches
+// are handed to Task::OnBatch whole (ExchangeConfig::batch_dispatch, default
+// true), so operators with batch specializations (reshuffler routing, joiner
+// store/probe) skip the per-envelope dispatch entirely; setting it false
+// unpacks batches into one OnMessage call per envelope. (The original
+// per-tuple mutex+deque Channel plane is retired; ExchangeConfig with
+// batch_size = 1 is the per-tuple reference configuration.)
 //
-//  - kBatched (default): the src/exchange/ data plane — per-edge bounded
-//    lock-free SPSC rings carrying TupleBatches, with size/deadline/control
-//    batching and credit-based backpressure. A slow joiner stalls only the
-//    edges feeding it; the driver blocks only when the specific ingress edge
-//    it is posting on is out of credits. Consumed batches are handed to
-//    Task::OnBatch whole (ExchangeConfig::batch_dispatch, default true), so
-//    operators with batch specializations (reshuffler routing, joiner
-//    store/probe) skip the per-envelope dispatch entirely; setting it false
-//    unpacks batches into one OnMessage call per envelope.
-//
-//  - kLegacyChannel: the original per-tuple mutex+deque Channel per task,
-//    with a single global max_inflight throttle on Post(). Kept as the
-//    per-tuple baseline for benchmarks and as a second plane every protocol
-//    test can run against.
-//
-// Quiescence is detected the same way in both modes: an in-flight envelope
-// counter incremented at send (including envelopes still buffered in a
-// batcher) and decremented after OnMessage — batched mode decrements once
-// per batch. Workers flush their own outboxes whenever their inbox runs dry,
+// Quiescence: an in-flight envelope counter incremented at send (including
+// envelopes still buffered in a batcher) and decremented once per consumed
+// batch. Workers flush their own outboxes whenever their inbox runs dry,
 // so counted-but-buffered envelopes always drain.
 //
 // Ingress: OpenIngress hands out IngressPort handles, each owning a
@@ -41,12 +34,9 @@
 #include <vector>
 
 #include "src/exchange/exchange.h"
-#include "src/net/channel.h"
 #include "src/runtime/task.h"
 
 namespace ajoin {
-
-enum class ExchangeMode { kBatched, kLegacyChannel };
 
 class ThreadEngine : public Engine {
  public:
@@ -56,19 +46,12 @@ class ThreadEngine : public Engine {
   /// Batched exchange with explicit batching/credit config.
   explicit ThreadEngine(const ExchangeConfig& config);
 
-  /// Legacy mutex-channel plane; max_inflight globally throttles external
-  /// Post() calls (workers never block).
-  explicit ThreadEngine(size_t max_inflight);
-
   ~ThreadEngine() override;
 
   int AddTask(std::unique_ptr<Task> task) override;
   void Start() override;
-  /// Opens a dedicated ingress lane (see IngressPort in task.h). Batched
-  /// mode: requires Start() first and a free slot (ExchangeConfig::
-  /// max_ingress_ports). Legacy mode: ports share the channel plane and the
-  /// global throttle, so the handle is a compatibility veneer, not a
-  /// contention win.
+  /// Opens a dedicated ingress lane (see IngressPort in task.h). Requires
+  /// Start() first and a free slot (ExchangeConfig::max_ingress_ports).
   std::unique_ptr<IngressPort> OpenIngress(int to) override;
   /// Registered task count (the next id AddTask assigns).
   size_t num_tasks() const override { return tasks_.size(); }
@@ -77,24 +60,21 @@ class ThreadEngine : public Engine {
   Task* task(int id) override { return tasks_[static_cast<size_t>(id)].get(); }
   uint64_t NowMicros() const override;
 
-  ExchangeMode mode() const { return mode_; }
-  /// Exchange-plane counters (all zero in legacy mode).
+  /// Exchange-plane counters.
   ExchangeStatsSnapshot exchange_stats() const;
-  /// Per-edge exchange counters and occupancy gauges (empty in legacy mode
-  /// or before Start). Callable from any thread — the TelemetrySampler's
-  /// edge source.
+  /// Per-edge exchange counters and occupancy gauges (empty before Start).
+  /// Callable from any thread — the TelemetrySampler's edge source.
   std::vector<EdgeStatsSnapshot> edge_stats() const;
 
   /// Eagerly attaches a worker to task `id` if it is currently parked
-  /// dormant (see Task::dormant). Batched mode only (legacy mode gives
-  /// every task a permanent worker); callable from any thread between
+  /// dormant (see Task::dormant). Callable from any thread between
   /// Start() and Shutdown(). Redundant calls are no-ops — the same state
   /// machine also runs from the exchange plane's dormant-wake hook, so a
   /// message racing this call cannot double-spawn.
   void ActivateTask(int id) override;
 
-  /// Worker threads currently attached (running or winding down). Equals
-  /// num_tasks() in legacy mode; in batched mode dormant slots have none.
+  /// Worker threads currently attached (running or winding down); dormant
+  /// slots have none.
   size_t live_workers() const;
   /// Cumulative worker spawns (including Start-time ones) — grows by one
   /// every time a dormant slot is woken. Test/telemetry accessor.
@@ -109,7 +89,6 @@ class ThreadEngine : public Engine {
 
  private:
   class BatchedContext;
-  class LegacyContext;
   class PortImpl;
 
   /// Worker attachment lifecycle of one task slot (guarded by workers_mu_).
@@ -124,7 +103,6 @@ class ThreadEngine : public Engine {
   };
 
   void WorkerLoop(int id);
-  void LegacyWorkerLoop(int id);
   /// Spawns (or respawns) task `id`'s worker. Caller holds workers_mu_.
   void SpawnWorkerLocked(int id);
   /// The dormant-wake state machine (doorbell hook + ActivateTask).
@@ -140,14 +118,11 @@ class ThreadEngine : public Engine {
   bool PortPostBatch(PortImpl& port, int to, TupleBatch&& batch);
   void PortFlush(PortImpl& port);
   void ClosePort(PortImpl* port);
-  bool LegacyPost(int to, Envelope msg);
   /// Ships every registered port's buffered batches (each under that port's
   /// own lock). Only the WaitQuiescent sweep uses it.
   void FlushAllPorts();
 
-  const ExchangeMode mode_;
   ExchangeConfig exchange_config_;
-  size_t max_inflight_ = 1 << 16;  // legacy mode only
 
   std::vector<std::unique_ptr<Task>> tasks_;
   mutable std::mutex workers_mu_;      // worker slot states + closing_
@@ -170,10 +145,6 @@ class ThreadEngine : public Engine {
   std::vector<PortImpl*> ports_;
   size_t next_port_slot_ = 0;              // guarded by ports_mu_
   std::vector<size_t> free_port_slots_;    // closed ports' slots, reusable
-
-  // Legacy plane.
-  std::vector<std::unique_ptr<Channel>> channels_;
-  std::condition_variable throttle_cv_;
 };
 
 }  // namespace ajoin

@@ -66,15 +66,15 @@ std::vector<std::pair<uint64_t, uint64_t>> ReferencePairs(
   return out;
 }
 
-enum class Plane { kSim, kLegacy, kBatched, kBatchedEnvelope, kBatchedTiny };
+enum class Plane { kSim, kPerTuple, kBatched, kBatchedEnvelope, kBatchedTiny };
 
-const Plane kAllPlanes[] = {Plane::kSim, Plane::kLegacy, Plane::kBatched,
+const Plane kAllPlanes[] = {Plane::kSim, Plane::kPerTuple, Plane::kBatched,
                             Plane::kBatchedEnvelope, Plane::kBatchedTiny};
 
 const char* PlaneName(Plane plane) {
   switch (plane) {
     case Plane::kSim: return "sim";
-    case Plane::kLegacy: return "legacy";
+    case Plane::kPerTuple: return "per-tuple";
     case Plane::kBatched: return "batched";
     case Plane::kBatchedEnvelope: return "batched-envelope";
     case Plane::kBatchedTiny: return "batched-tiny";
@@ -86,8 +86,11 @@ std::unique_ptr<Engine> MakeEngine(Plane plane) {
   switch (plane) {
     case Plane::kSim:
       return std::make_unique<SimEngine>();
-    case Plane::kLegacy:
-      return std::make_unique<ThreadEngine>(/*max_inflight=*/size_t{4096});
+    case Plane::kPerTuple: {
+      ExchangeConfig cfg;
+      cfg.batch_size = 1;
+      return std::make_unique<ThreadEngine>(cfg);
+    }
     case Plane::kBatched:
       return std::make_unique<ThreadEngine>(ExchangeConfig{});
     case Plane::kBatchedEnvelope: {
@@ -373,8 +376,8 @@ TEST(Dataflow, CascadeMatchesMaterializedLocalJoinThreadedTinyBatches) {
   RunCascadeVsMaterialized(Plane::kBatchedTiny);
 }
 
-TEST(Dataflow, CascadeMatchesMaterializedLocalJoinLegacyPlane) {
-  RunCascadeVsMaterialized(Plane::kLegacy);
+TEST(Dataflow, CascadeMatchesMaterializedLocalJoinPerTuplePlane) {
+  RunCascadeVsMaterialized(Plane::kPerTuple);
 }
 
 // A cascade into a pair-collecting sink on slim (row-less) tuples: key_col

@@ -106,12 +106,15 @@ TEST(SimEngine, DeterministicDispatchCount) {
   EXPECT_GT(a, 10u);
 }
 
-// Both exchange planes of the threaded engine must honor the same Engine
-// contract; a default-constructed ThreadEngine is the batched plane, a
-// max_inflight one is the legacy mutex-channel plane.
+// Both batching extremes of the threaded engine must honor the same Engine
+// contract; a default-constructed ThreadEngine uses the default batch size,
+// batched=false is the per-tuple reference (batch_size = 1, the
+// configuration that replaced the retired mutex Channel plane).
 std::unique_ptr<ThreadEngine> MakeThreadEngine(bool batched) {
   if (batched) return std::make_unique<ThreadEngine>();
-  return std::make_unique<ThreadEngine>(/*max_inflight=*/size_t{1} << 16);
+  ExchangeConfig cfg;
+  cfg.batch_size = 1;
+  return std::make_unique<ThreadEngine>(cfg);
 }
 
 TEST(ThreadEngine, PerChannelFifo) {
@@ -149,15 +152,20 @@ TEST(ThreadEngine, QuiescenceCoversTransitiveSends) {
   }
 }
 
-TEST(ThreadEngine, ThrottleDoesNotDeadlock) {
-  ThreadEngine engine(/*max_inflight=*/4);
+// A tiny credit window must throttle producers without deadlocking the
+// fan-out (credits replaced the old global max_inflight throttle).
+TEST(ThreadEngine, TinyCreditWindowDoesNotDeadlock) {
+  ExchangeConfig config;
+  config.batch_size = 1;
+  config.ring_slots = 2;
+  ThreadEngine engine(config);
   auto* sink = new RecorderTask();
   engine.AddTask(std::make_unique<FanoutTask>(1, 1));
   engine.AddTask(std::unique_ptr<Task>(sink));
   engine.Start();
-  // Legacy-plane ports share the channel path and its global throttle.
   std::unique_ptr<IngressPort> port = engine.OpenIngress(0);
   for (uint64_t i = 0; i < 2000; ++i) ASSERT_TRUE(port->Post(SeqMsg(3)));
+  port->Flush();
   engine.WaitQuiescent();
   // Each post fans out to the sink twice (seq 2, non-recursive at the sink).
   EXPECT_EQ(sink->seen().size(), 4000u);
@@ -198,7 +206,7 @@ TEST(SimEngine, IngressPortBatchMatchesPerEnvelope) {
 }
 
 // Post/PostBatch after Shutdown() must reject cleanly (return false, drop
-// the message) instead of UB — matching Channel::Push post-Close semantics.
+// the message) instead of UB.
 TEST(SimEngine, PostAfterShutdownRejects) {
   SimEngine engine;
   auto* task = new RecorderTask();

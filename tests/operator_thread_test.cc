@@ -57,21 +57,22 @@ std::vector<std::pair<uint64_t, uint64_t>> ReferencePairs(
   return out;
 }
 
-/// Exchange planes every protocol test runs against: the legacy per-tuple
-/// mutex channels, the default batched plane (whole batches handed to
+/// Exchange planes every protocol test runs against: the per-tuple
+/// reference (batch_size = 1, the configuration that replaced the retired
+/// mutex Channel plane), the default batched plane (whole batches handed to
 /// Task::OnBatch), the batched plane with per-envelope dispatch (the engine
 /// unpacks batches into OnMessage — the operators' batch specializations
 /// never run), and a stress config with tiny batches and a tiny credit
 /// window so size flushes, deadline flushes, and credit stalls all
 /// interleave with migrations while OnBatch sees every odd batch shape.
-enum class Plane { kLegacy, kBatched, kBatchedEnvelope, kBatchedTiny };
+enum class Plane { kPerTuple, kBatched, kBatchedEnvelope, kBatchedTiny };
 
-const Plane kAllPlanes[] = {Plane::kLegacy, Plane::kBatched,
+const Plane kAllPlanes[] = {Plane::kPerTuple, Plane::kBatched,
                             Plane::kBatchedEnvelope, Plane::kBatchedTiny};
 
 const char* PlaneName(Plane plane) {
   switch (plane) {
-    case Plane::kLegacy: return "legacy";
+    case Plane::kPerTuple: return "per-tuple";
     case Plane::kBatched: return "batched";
     case Plane::kBatchedEnvelope: return "batched-envelope";
     case Plane::kBatchedTiny: return "batched-tiny";
@@ -81,8 +82,11 @@ const char* PlaneName(Plane plane) {
 
 std::unique_ptr<ThreadEngine> MakeEngine(Plane plane) {
   switch (plane) {
-    case Plane::kLegacy:
-      return std::make_unique<ThreadEngine>(/*max_inflight=*/4096);
+    case Plane::kPerTuple: {
+      ExchangeConfig cfg;
+      cfg.batch_size = 1;
+      return std::make_unique<ThreadEngine>(cfg);
+    }
     case Plane::kBatched:
       return std::make_unique<ThreadEngine>(ExchangeConfig{});
     case Plane::kBatchedEnvelope: {

@@ -17,11 +17,16 @@ Checks:
     backpressure fields (credit_waits, credit_wait_ns, ring_occupancy,
     ring_peak, ring_capacity, overflow_depth)
   * per-task cumulative counters are monotone across samples
-  * every trace event: index, a known kind, task, t_us, a, b
+  * every trace event: index, a known kind, task, t_us, a, b; non-object
+    entries and unknown kind strings are reported as failures, never
+    skipped
   * --require-edges: at least one sample must carry a non-empty edges array
     (threaded exports; sim-engine exports have no exchange plane)
   * --require-scale-events: the trace must carry at least one scale_grow and
     one scale_shrink event (elastic-autoscaling smoke runs)
+  * --require-shed-events: the trace must carry at least one shed_enter
+    event and some joiner sample must report a shed rate below 1000000 ppm
+    (overload-shedding smoke runs)
 
 Exit code 0 = valid; 1 = findings (printed one per line).
 """
@@ -37,15 +42,19 @@ JOINER_KEYS = ("in_tuples", "in_bytes", "probe_candidates", "output_tuples",
                "mig_out_tuples", "mig_in_tuples", "discarded_tuples",
                "migrations_finalized", "stored_tuples", "stored_bytes",
                "peak_stored_bytes", "latency_count", "latency_sum_us",
-               "epoch", "migrating", "active")
+               "epoch", "migrating", "active", "shed_probes_skipped",
+               "shed_rate_ppm")
 RESHUFFLER_KEYS = ("routed_tuples", "sent_msgs", "sent_bytes",
                    "epoch_changes", "results_restamped")
 EDGE_KEYS = ("producer", "consumer", "bounded", "batches", "envelopes",
              "credit_waits", "credit_wait_ns", "overflow_batches",
              "ring_occupancy", "ring_peak", "ring_capacity", "overflow_depth")
-MONOTONE_JOINER_KEYS = ("in_tuples", "output_tuples", "migrations_finalized")
+MONOTONE_JOINER_KEYS = ("in_tuples", "output_tuples", "migrations_finalized",
+                        "shed_probes_skipped")
 TRACE_KINDS = ("epoch_change", "migration_begin", "migration_finalize",
-               "credit_stall", "scale_grow", "scale_shrink")
+               "credit_stall", "scale_grow", "scale_shrink", "shed_enter",
+               "shed_exit", "shed_rate_change")
+EXACT_PPM = 1000000  # shed_rate_ppm at or above this means shedding is off
 
 
 def require(errors, cond, msg):
@@ -63,14 +72,20 @@ def check_counter(errors, obj, key, where):
 
 def check_sample(errors, sample, i):
     where = f"samples[{i}]"
+    if not isinstance(sample, dict):
+        errors.append(f"{where}: not an object")
+        return
     for key in SAMPLE_KEYS:
         require(errors, key in sample, f"{where}: missing '{key}'")
-    if "exchange" in sample:
+    if isinstance(sample.get("exchange"), dict):
         for key in EXCHANGE_KEYS:
             check_counter(errors, sample["exchange"], key,
                           f"{where}.exchange")
     for t, task in enumerate(sample.get("tasks", [])):
         twhere = f"{where}.tasks[{t}]"
+        if not isinstance(task, dict):
+            errors.append(f"{twhere}: not an object")
+            continue
         require(errors, task.get("kind") in ("joiner", "reshuffler"),
                 f"{twhere}: bad kind {task.get('kind')!r}")
         keys = (JOINER_KEYS if task.get("kind") == "joiner"
@@ -78,15 +93,21 @@ def check_sample(errors, sample, i):
         for key in keys:
             check_counter(errors, task, key, twhere)
     for e, edge in enumerate(sample.get("edges", [])):
+        ewhere = f"{where}.edges[{e}]"
+        if not isinstance(edge, dict):
+            errors.append(f"{ewhere}: not an object")
+            continue
         for key in EDGE_KEYS:
-            check_counter(errors, edge, key, f"{where}.edges[{e}]")
+            check_counter(errors, edge, key, ewhere)
 
 
 def check_monotone(errors, samples):
     prev = {}
     for i, sample in enumerate(samples):
+        if not isinstance(sample, dict):
+            continue  # already reported by check_sample
         for task in sample.get("tasks", []):
-            if task.get("kind") != "joiner":
+            if not isinstance(task, dict) or task.get("kind") != "joiner":
                 continue
             tid = task.get("task")
             for key in MONOTONE_JOINER_KEYS:
@@ -106,6 +127,10 @@ def main():
     parser.add_argument("--require-scale-events", action="store_true",
                         help="fail unless the trace has at least one "
                              "scale_grow and one scale_shrink event")
+    parser.add_argument("--require-shed-events", action="store_true",
+                        help="fail unless the trace has a shed_enter event "
+                             "and some joiner sample reports an active shed "
+                             "rate")
     args = parser.parse_args()
 
     errors = []
@@ -148,6 +173,9 @@ def main():
 
     for i, event in enumerate(trace):
         where = f"trace[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
         require(errors, event.get("kind") in TRACE_KINDS,
                 f"{where}: unknown kind {event.get('kind')!r}")
         for key in ("index", "task", "t_us", "a", "b"):
@@ -158,12 +186,25 @@ def main():
                 any(sample.get("edges") for sample in samples),
                 "--require-edges: no sample carries per-edge stats")
 
+    kinds = {event.get("kind") for event in trace
+             if isinstance(event, dict)}
     if args.require_scale_events:
-        kinds = {event.get("kind") for event in trace}
         require(errors, "scale_grow" in kinds,
                 "--require-scale-events: no scale_grow trace event")
         require(errors, "scale_shrink" in kinds,
                 "--require-scale-events: no scale_shrink trace event")
+
+    if args.require_shed_events:
+        require(errors, "shed_enter" in kinds,
+                "--require-shed-events: no shed_enter trace event")
+        shed_seen = any(
+            task.get("kind") == "joiner"
+            and 0 < task.get("shed_rate_ppm", EXACT_PPM) < EXACT_PPM
+            for sample in samples if isinstance(sample, dict)
+            for task in sample.get("tasks", []) if isinstance(task, dict))
+        require(errors, shed_seen,
+                "--require-shed-events: no joiner sample reports an active "
+                "shed rate (shed_rate_ppm < 1000000)")
 
     for error in errors:
         print(error)
