@@ -239,7 +239,7 @@ struct JoinRunResult {
   std::vector<EdgeStatsSnapshot> edges;
 };
 
-OperatorConfig StaticJoinConfig(uint32_t machines, bool use_flat_index) {
+OperatorConfig StaticJoinConfig(uint32_t machines) {
   OperatorConfig cfg;
   cfg.spec = MakeEquiJoin(0, 0);
   cfg.machines = machines;
@@ -247,7 +247,6 @@ OperatorConfig StaticJoinConfig(uint32_t machines, bool use_flat_index) {
   cfg.initial = MidMapping(machines);
   cfg.use_initial = true;
   cfg.keep_rows = false;
-  cfg.use_flat_index = use_flat_index;
   return cfg;
 }
 
@@ -268,8 +267,7 @@ const Mode kJoinModes[] = {
 /// the egress axis) instead of only counting locally (`poll`).
 JoinRunResult JoinRun(const Mode& mode, uint32_t machines,
                       const std::vector<StreamTuple>& stream, int reps = 3,
-                      bool use_flat_index = true, bool egress_sink = false,
-                      bool telemetry = false) {
+                      bool egress_sink = false, bool telemetry = false) {
   JoinRunResult result;
   for (int rep = 0; rep < reps; ++rep) {
     // Telemetry axis state (batched modes only): registry + trace wired into
@@ -288,7 +286,7 @@ JoinRunResult JoinRun(const Mode& mode, uint32_t machines,
     } else {
       engine = MakeEngine(mode);
     }
-    OperatorConfig cfg = StaticJoinConfig(machines, use_flat_index);
+    OperatorConfig cfg = StaticJoinConfig(machines);
     if (telemetry) {
       cfg.registry = &registry;
       cfg.trace = &trace;
@@ -335,7 +333,7 @@ double SimCeiling(uint32_t machines, const std::vector<StreamTuple>& stream,
   double best = 0;
   for (int rep = 0; rep < reps; ++rep) {
     SimEngine engine;
-    JoinOperator op(engine, StaticJoinConfig(machines, /*use_flat_index=*/true));
+    JoinOperator op(engine, StaticJoinConfig(machines));
     engine.Start();
     Stopwatch clock;
     for (const StreamTuple& t : stream) op.Push(t);
@@ -366,9 +364,7 @@ int main() {
                    "emulated without the deprecated API), port = one "
                    "IngressPort (dedicated SPSC lanes) per producer posting "
                    "per envelope, port-batch = one IngressPort per producer "
-                   "shipping size-targeted PostBatch runs; index flat = "
-                   "tag-filtered FlatHashIndex (default), chained = baseline "
-                   "HashIndex on the b64 4J points; egress poll = results "
+                   "shipping size-targeted PostBatch runs; egress poll = results "
                    "counted locally and read at quiescence, sink = joiners "
                    "stream kResult batches to a ResultSink task (the "
                    "join_4j_egress section runs a match-producing stream, "
@@ -527,37 +523,6 @@ int main() {
     std::printf("   %.0f\n", overhead_4j);
   }
 
-  // Index axis at the 4J operating point: the identical b64/b256 runs with
-  // the chained baseline index, so the join-index change is visible inside
-  // the exchange bench's end-to-end configuration (all rows above are
-  // `flat`), and cross-PR comparisons have a same-host reference when the
-  // host's absolute speed drifts.
-  std::printf("\n%-12s %10s   (index=chained, 4J)\n", "mode", "tuples/s");
-  const char* kChainedAxisModes[] = {"b64/env", "b64/batch", "b256/batch"};
-  for (const char* mode_name : kChainedAxisModes) {
-    const Mode* found = nullptr;
-    for (const Mode& m : kJoinModes) {
-      if (std::string(m.name) == mode_name) found = &m;
-    }
-    if (found == nullptr) continue;
-    const Mode& mode = *found;
-    JoinRunResult r = JoinRun(mode, 4, stream, /*reps=*/5,
-                              /*use_flat_index=*/false);
-    std::printf("%-12s %10.0f\n", mode.name, r.tuples_per_sec);
-    out.AddRow()
-        .Add("section", "join_4j_static")
-        .Add("mode", mode.name)
-        .Add("dispatch", DispatchName(mode))
-        .Add("index", "chained")
-        .Add("batch_size", static_cast<int>(mode.batch_size))
-        .Add("machines", 4)
-        .Add("tuples", kJoinTuples)
-        .Add("tuples_per_sec", r.tuples_per_sec)
-        .Add("avg_batch_fill", r.stats.avg_batch_fill)
-        .Add("credit_waits", r.stats.credit_waits)
-        .Add("overflow_batches", r.stats.overflow_batches);
-  }
-
   // Egress axis at the 4J operating point, on a *match-producing* stream
   // (the main 4J stream is nearly match-free, so it cannot price result
   // shipping): poll = results stay local (counted per joiner, read at
@@ -584,10 +549,8 @@ int main() {
                     "egress axis references a mode missing from kJoinModes");
     const Mode& mode = *found;
     JoinRunResult poll = JoinRun(mode, 4, egress_stream, /*reps=*/3,
-                                 /*use_flat_index=*/true,
                                  /*egress_sink=*/false);
     JoinRunResult sink = JoinRun(mode, 4, egress_stream, /*reps=*/3,
-                                 /*use_flat_index=*/true,
                                  /*egress_sink=*/true);
     const double ratio = poll.tuples_per_sec > 0
                              ? sink.tuples_per_sec / poll.tuples_per_sec
@@ -625,7 +588,6 @@ int main() {
   AJOIN_CHECK_MSG(b64_batch != nullptr, "b64/batch missing from kJoinModes");
   JoinRunResult tel_off = JoinRun(*b64_batch, 4, stream, /*reps=*/5);
   JoinRunResult tel_on = JoinRun(*b64_batch, 4, stream, /*reps=*/5,
-                                 /*use_flat_index=*/true,
                                  /*egress_sink=*/false, /*telemetry=*/true);
   const double telemetry_ratio =
       tel_off.tuples_per_sec > 0

@@ -9,7 +9,7 @@
 #include "src/core/operator.h"
 #include "src/core/partition.h"
 #include "src/index/btree.h"
-#include "src/index/hash_index.h"
+#include "src/index/flat_index.h"
 #include "src/localjoin/local_join.h"
 #include "src/runtime/thread_engine.h"
 #include "src/sim/sim_engine.h"
@@ -17,12 +17,11 @@
 namespace ajoin {
 namespace {
 
-void BM_HashIndexInsert(benchmark::State& state) {
+void BM_FlatIndexInsert(benchmark::State& state) {
   Rng rng(1);
   for (auto _ : state) {
     state.PauseTiming();
-    HashIndex index(1 << 16);
-    index.Reserve(0);  // allocation is lazy: materialize it untimed
+    FlatHashIndex index(1 << 16);
     state.ResumeTiming();
     for (int i = 0; i < state.range(0); ++i) {
       index.Insert(static_cast<int64_t>(rng.Uniform(1 << 20)),
@@ -32,11 +31,11 @@ void BM_HashIndexInsert(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_HashIndexInsert)->Arg(100000);
+BENCHMARK(BM_FlatIndexInsert)->Arg(100000);
 
-void BM_HashIndexProbe(benchmark::State& state) {
+void BM_FlatIndexProbe(benchmark::State& state) {
   Rng rng(2);
-  HashIndex index(1 << 16);
+  FlatHashIndex index(1 << 16);
   for (int i = 0; i < 200000; ++i) {
     index.Insert(static_cast<int64_t>(rng.Uniform(1 << 16)),
                  static_cast<uint64_t>(i));
@@ -49,7 +48,7 @@ void BM_HashIndexProbe(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_HashIndexProbe);
+BENCHMARK(BM_FlatIndexProbe);
 
 void BM_BTreeInsert(benchmark::State& state) {
   Rng rng(3);

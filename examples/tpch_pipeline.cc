@@ -1,22 +1,32 @@
 // The paper's EQ5 as a streaming cascade: only the tiny Region |X| Nation
 // seed is computed locally; the remaining joins — (R|X|N) |X| Supplier and
-// the expensive |X| Lineitem — run as a two-stage Dataflow, stage A's
-// joiner egress streaming straight into stage B's reshufflers. No
-// intermediate relation is materialized (contrast with the Squall pattern
+// the expensive |X| Lineitem — run as a three-stage Dataflow, stage A's
+// joiner egress streaming straight into stage B's reshufflers and stage
+// B's result stream straight into a group-by tail (per-supplier revenue
+// proxy: COUNT/SUM over result bytes, keyed by s_suppkey). No intermediate
+// relation is materialized (contrast with the Squall pattern
 // src/query/pipeline.h implements, where every intermediate is realized
 // before online processing), and the adaptive controller migrates mappings
-// live in both stages.
+// live in every stage — join and aggregate alike.
+//
+// Usage: example_tpch_pipeline [telemetry.json]
+// With a path argument the run also samples the metrics registry at drain
+// intervals and exports the series as structured telemetry JSON (the CI
+// agg smoke feeds this to tools/validate_telemetry.py --require-agg-tasks).
 
 #include <cstdio>
+#include <memory>
 
 #include "src/datagen/tpch.h"
 #include "src/query/dataflow.h"
 #include "src/query/pipeline.h"
+#include "src/runtime/metrics_registry.h"
 #include "src/sim/sim_engine.h"
 
 using namespace ajoin;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* telemetry_path = argc > 1 ? argv[1] : nullptr;
   TpchConfig cfg;
   cfg.gb = 1.0;
   cfg.lineitem_rows_per_gb = 50000;
@@ -45,6 +55,8 @@ int main() {
   // expensive probe join online — no materialized intermediate.
   SimEngine engine;
   Dataflow flow(engine);
+  MetricsRegistry registry;
+  flow.SetTelemetry(&registry, nullptr);
   OperatorConfig a_cfg;
   a_cfg.spec = MakeEquiJoin(/*r_key_col=*/1, SupplierCols::kNationKey, "RN_S");
   a_cfg.machines = 4;
@@ -59,13 +71,32 @@ int main() {
   b_cfg.min_total_before_adapt = 512;
   b_cfg.keep_rows = false;
   const int probe = flow.AddJoin(b_cfg);
-  const int out = flow.AddSink();
+  // Stage 3: group the EQ5 result stream by supplier. Defaults aggregate
+  // (envelope key = the stage-B join key s_suppkey, value = result bytes),
+  // so the skew the probe join fights also lands on the aggregate workers
+  // and the group-by controller migrates accumulator cells live.
+  AggConfig g_cfg;
+  g_cfg.machines = 8;
+  g_cfg.min_total_before_adapt = 512;
+  g_cfg.check_every = 256;
+  const int per_supp = flow.AddGroupBy(g_cfg);
+  ResultSink::Options sink_opts;
+  sink_opts.collect_pairs = false;
+  sink_opts.collect_rows = true;  // aggregate rows, foldable via FoldAggRows
+  const int out = flow.AddSink(sink_opts);
   Dataflow::ConnectOptions wire;
   wire.rel = Rel::kR;
   wire.key_col = 3;  // s_suppkey inside the stage-A result row
   flow.Connect(dim, probe, wire);
-  flow.Connect(probe, out);
+  flow.Connect(probe, per_supp);
+  flow.Connect(per_supp, out);
   engine.Start();
+
+  TelemetrySampler::Options topts;
+  std::unique_ptr<TelemetrySampler> sampler;
+  if (telemetry_path != nullptr) {
+    sampler = std::make_unique<TelemetrySampler>(&registry, topts);
+  }
 
   for (const Row& row : rn.rows) {
     StreamTuple t;
@@ -93,10 +124,14 @@ int main() {
     t.key = gen.LineitemFast(i).suppkey;
     t.bytes = 32;
     flow.join(probe).Push(t);
-    if (i % 512 == 0) engine.WaitQuiescent();
+    if (i % 512 == 0) {
+      engine.WaitQuiescent();
+      if (sampler) sampler->SampleNow(i);  // sim path: logical time = rows
+    }
   }
   flow.SendEos();
   engine.WaitQuiescent();
+  if (sampler) sampler->SampleNow(n_li + 1);
 
   std::printf("stage 1 (streaming): |X| Supplier (%llu) -> %llu results, "
               "%zu migrations\n",
@@ -105,13 +140,33 @@ int main() {
               flow.join(dim).controller()->log().size());
   std::printf("stage 2 (streaming): |X| Lineitem (%llu rows, Zipf z=%.2f)\n",
               static_cast<unsigned long long>(n_li), cfg.zipf_z);
-  std::printf("  results (sink): %llu\n",
-              static_cast<unsigned long long>(flow.sink(out).count()));
+  std::printf("  join results:   %llu\n",
+              static_cast<unsigned long long>(flow.join(probe).TotalOutputs()));
   std::printf("  final mapping:  %s after %zu migrations (started (4,4))\n",
               flow.join(probe).controller()->current_mapping(0)
                   .ToString().c_str(),
               flow.join(probe).controller()->log().size());
   std::printf("  max ILF:        %.0f KB per joiner\n",
               static_cast<double>(flow.join(probe).MaxInBytes()) / 1024.0);
+  const std::vector<AggResult> per_supplier = FoldAggRows(flow.sink(out).rows());
+  uint64_t agg_tuples = 0;
+  for (const AggResult& g : per_supplier) {
+    agg_tuples += static_cast<uint64_t>(g.acc.tuples);
+  }
+  std::printf("stage 3 (streaming): group by s_suppkey -> %zu groups over "
+              "%llu results, %llu cell migrations\n",
+              per_supplier.size(),
+              static_cast<unsigned long long>(agg_tuples),
+              static_cast<unsigned long long>(
+                  flow.groupby(per_supp).TotalMigrations()));
+  if (agg_tuples != flow.join(probe).TotalOutputs()) {
+    std::printf("  MISMATCH: aggregated tuples != join results\n");
+    return 1;
+  }
+  if (sampler) {
+    const bool wrote = sampler->WriteJson(telemetry_path, "tpch_pipeline");
+    std::printf("  wrote %s: %s\n", telemetry_path, wrote ? "ok" : "FAILED");
+    if (!wrote) return 1;
+  }
   return 0;
 }

@@ -13,10 +13,8 @@ namespace ajoin {
 JoinerCore::JoinerCore(JoinerConfig config)
     : config_(std::move(config)),
       layout_(config_.initial_layout),
-      index_{JoinIndex(JoinIndex::KindFor(config_.spec.kind),
-                       JoinIndex::ImplFor(config_.use_flat_index)),
-             JoinIndex(JoinIndex::KindFor(config_.spec.kind),
-                       JoinIndex::ImplFor(config_.use_flat_index))} {
+      index_{JoinIndex(JoinIndex::KindFor(config_.spec.kind)),
+             JoinIndex(JoinIndex::KindFor(config_.spec.kind))} {
   // Deterministic per-slot shed sampler: the same slot always draws the
   // same admission sequence, so sampled runs reproduce given the same
   // per-edge message order.
@@ -595,10 +593,31 @@ void JoinerCore::FinalizeMigration(Context& ctx) {
   ack.espec.group = config_.group;
   ack.espec.epoch = epoch_;
   ctx.Send(config_.controller_task, std::move(ack));
+  // A migration that was in flight when the last EOS arrived deferred the
+  // downstream EOS forward to this point.
+  MaybeForwardEos(ctx);
 }
 
 void JoinerCore::HandleEos(Envelope& msg, Context& ctx) {
   ++eos_seen_;
+  MaybeForwardEos(ctx);
+}
+
+void JoinerCore::MaybeForwardEos(Context& ctx) {
+  // Forward one kEos downstream when this slot is finished (every
+  // reshuffler drained, no migration in flight), so a cascade tail — a
+  // downstream stage's expected-EOS gate — can detect drainage. Safe even
+  // though a migration might still be *decided* after our last EOS: such a
+  // migration has an empty Δ' everywhere (a reshuffler that switched before
+  // its EOS would have delivered its signal first on the same FIFO edge),
+  // so it can emit no results. A migration in flight right now defers the
+  // forward to FinalizeMigration.
+  if (eos_forwarded_ || config_.result_sink < 0 || !finished()) return;
+  eos_forwarded_ = true;
+  if (!egress_.empty()) FlushEgress(ctx);
+  Envelope eos;
+  eos.type = MsgType::kEos;
+  ctx.Send(config_.result_sink, std::move(eos));
 }
 
 // ---------------------------------------------------------------------------

@@ -44,9 +44,6 @@ struct JoinerConfig {
   bool collect_pairs = false;     // record (r_seq, s_seq) result ids
   bool keep_rows = true;          // store row payloads when provided
   uint64_t latency_every = 0;     // record latency for every k-th output (0=off)
-  /// Equi-join index implementation: the flat tag-filtered index (default)
-  /// or the chained baseline kept for differential testing.
-  bool use_flat_index = true;
   /// Streaming egress: engine task id that receives this joiner's results
   /// as kResult batches (a ResultSink or a downstream stage's reshuffler).
   /// -1 (default) keeps results local (polling via collect_pairs /
@@ -157,6 +154,9 @@ class JoinerCore : public Task {
   void HandleMigEnd(Envelope& msg, Context& ctx);
   void HandleSignal(Envelope& msg, Context& ctx);
   void HandleEos(Envelope& msg, Context& ctx);
+  /// Forwards one kEos to the result sink once this slot is finished, so a
+  /// downstream stage's expected-EOS gate can detect upstream drainage.
+  void MaybeForwardEos(Context& ctx);
   void HandleShed(Envelope& msg, Context& ctx);
   // Bernoulli probe admission under shedding (always true when exact);
   // a skipped probe bumps metrics_.shed_probes_skipped.
@@ -222,6 +222,7 @@ class JoinerCore : public Task {
   Rng shed_rng_;              // deterministic per-slot admission sampler
 
   uint32_t eos_seen_ = 0;
+  bool eos_forwarded_ = false;  // downstream kEos sent (once per slot)
   uint64_t output_count_ = 0;
   TupleBatch egress_;                // staged kResult run (one dispatch)
   std::vector<int64_t> probe_keys_;  // batched-probe scratch (one run)

@@ -128,7 +128,6 @@ JoinOperator::JoinOperator(Engine& engine, OperatorConfig config)
       jc.collect_pairs = config_.collect_pairs;
       jc.keep_rows = config_.keep_rows;
       jc.latency_every = config_.latency_every;
-      jc.use_flat_index = config_.use_flat_index;
       jc.trace = config_.trace;
       if (config_.registry != nullptr) {
         jc.telemetry = config_.registry->Register(
@@ -208,6 +207,20 @@ void JoinOperator::AcceptResultsAs(Rel rel, int key_col) {
   for (int id : reshuffler_ids_) {
     static_cast<ReshufflerCore*>(engine_.task(id))->AcceptResults(rel,
                                                                   key_col);
+  }
+}
+
+void JoinOperator::AddResultFeeders(size_t upstream_slots) {
+  // Mirror RouteResultsTo's round-robin: upstream joiner slot i streams its
+  // egress (and thus its kEos) to sink i % num_sinks, i.e. reshuffler i % R
+  // when this operator's reshuffler_ids() are the sinks.
+  const size_t n = reshuffler_ids_.size();
+  std::vector<uint32_t> feeders(n, 0);
+  for (size_t i = 0; i < upstream_slots; ++i) ++feeders[i % n];
+  for (size_t r = 0; r < n; ++r) {
+    if (feeders[r] == 0) continue;
+    static_cast<ReshufflerCore*>(engine_.task(reshuffler_ids_[r]))
+        ->AddEosFeeders(feeders[r]);
   }
 }
 
@@ -341,7 +354,6 @@ ShjOperator::ShjOperator(Engine& engine, OperatorConfig config)
     jc.collect_pairs = config_.collect_pairs;
     jc.keep_rows = config_.keep_rows;
     jc.latency_every = config_.latency_every;
-    jc.use_flat_index = config_.use_flat_index;
     jc.trace = config_.trace;
     if (config_.registry != nullptr) {
       jc.telemetry = config_.registry->Register(base + 1 + static_cast<int>(p),

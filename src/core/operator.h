@@ -56,9 +56,6 @@ struct OperatorConfig {
   /// Extended per-reshuffler statistics (heavy hitters / histograms).
   bool collect_stats = false;
   StreamStats::Options stats_options;
-  /// Equi-join index implementation for every joiner: flat tag-filtered
-  /// (default) or the chained baseline (differential tests, bench axis).
-  bool use_flat_index = true;
   /// Live telemetry (src/runtime/metrics_registry.h): when set, every
   /// reshuffler and joiner task registers a snapshot cell and publishes its
   /// metrics after each dispatch, observable mid-stream from any thread.
@@ -273,6 +270,14 @@ class JoinOperator : public Operator {
   /// inputs, keyed by result-row column `key_col` (-1 keeps the upstream
   /// join key). Wiring-time only (Dataflow::Connect).
   void AcceptResultsAs(Rel rel, int key_col);
+
+  /// Marks this operator as a cascade stage fed by `upstream_slots` joiner
+  /// egresses: distributes the expected kEos markers across this operator's
+  /// reshufflers exactly as RouteResultsTo's round-robin distributes the
+  /// egress edges (slot i feeds reshuffler i % R), so each reshuffler holds
+  /// its downstream EOS fan-out until every wired feeder has drained.
+  /// Wiring-time only (Dataflow::Connect).
+  void AddResultFeeders(size_t upstream_slots);
 
   /// The deterministic reshuffler spray Push applies to sequence number
   /// `seq` (paper: incoming tuples are randomly routed to reshufflers).

@@ -99,6 +99,14 @@ void ReshufflerCore::OnMessage(Envelope msg, Context& ctx) {
       break;
     }
     case MsgType::kEos: {
+      // Gate on the expected count (driver + cascade feeders wired via
+      // AddEosFeeders), then forward exactly one kEos per allocated joiner:
+      // each joiner's eos_seen thus counts drained *reshufflers*, never a
+      // partial upstream.
+      ++eos_seen_;
+      AJOIN_CHECK_MSG(eos_seen_ <= eos_expected_,
+                      "more kEos than expected at reshuffler");
+      if (eos_seen_ < eos_expected_) break;
       for (const GroupRoute& g : groups_) {
         for (uint32_t p = 0; p < g.block.alloc_machines; ++p) {
           Envelope eos;

@@ -85,6 +85,15 @@ class ReshufflerCore : public Task {
   /// only: call before the engine starts dispatching.
   void AcceptResults(Rel rel, int key_col);
 
+  /// Wiring-time (Dataflow::Connect): this reshuffler will receive `n` more
+  /// kEos markers beyond the driver's before its share of the stage input
+  /// is drained — one per upstream joiner slot whose egress is wired here.
+  /// The reshuffler collects kEos until every expected marker has arrived
+  /// and only then forwards one kEos to each allocated joiner, so a cascade
+  /// stage cannot see end-of-stream while upstream results are still being
+  /// produced.
+  void AddEosFeeders(uint32_t n) { eos_expected_ += n; }
+
   /// Batch routing (threaded engine, batched dispatch). Relies on the
   /// OnBatch invariants (src/runtime/task.h): the batch is one edge's FIFO
   /// run and control always arrives as a singleton batch, so a pure-kInput
@@ -147,6 +156,11 @@ class ReshufflerCore : public Task {
   Rel result_rel_ = Rel::kR;
   int result_key_col_ = -1;
   uint64_t results_restamped_ = 0;
+
+  // EOS gating: forward one kEos per allocated joiner only after every
+  // expected marker (driver + wired cascade feeders) has arrived.
+  uint32_t eos_expected_ = 1;
+  uint32_t eos_seen_ = 0;
 
   // Batch-routing scratch, reused across batches: one output run per
   // allocated joiner slot (flattened across group blocks) plus the engine

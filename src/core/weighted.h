@@ -1,0 +1,57 @@
+// Shared weighted-accumulator helper: the one implementation of
+// Horvitz-Thompson weight handling for result consumers. A kResult tuple
+// carries `weight = 1/p` when the emitting joiner probed at admission rate p
+// (1.0 when exact, see src/net/message.h), so any consumer that sums
+// weight-scaled contributions remains an unbiased estimator of the exact
+// stream. Both ResultSink (per-key weighted totals for the shedding tests)
+// and the AggOperator accumulator table (src/index/agg_table.h) fold tuples
+// through this struct, so the weight contract lives in exactly one place.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ajoin {
+
+/// Streaming weighted aggregate over one group: COUNT/SUM as weighted
+/// (unbiased) estimators, MIN/MAX over the observed values (exact over the
+/// *sampled* results — an extreme value suppressed upstream by shedding is
+/// unobservable, which no reweighting can fix), and the raw merge count.
+/// AVG is derived as sum/count. Merging is commutative and associative, so
+/// partitions can migrate between workers and merge in any order.
+struct WeightedAccum {
+  double count = 0.0;  // sum of weights (unbiased COUNT estimate)
+  double sum = 0.0;    // sum of weight * value (unbiased SUM estimate)
+  int64_t min = std::numeric_limits<int64_t>::max();
+  int64_t max = std::numeric_limits<int64_t>::min();
+  uint64_t tuples = 0;  // raw tuples merged (unweighted, for telemetry)
+
+  /// Folds one observed (weight, value) contribution into the aggregate.
+  void Merge(double weight, int64_t value) {
+    count += weight;
+    sum += weight * static_cast<double>(value);
+    if (value < min) min = value;
+    if (value > max) max = value;
+    ++tuples;
+  }
+
+  /// Folds a whole sibling accumulator in (migration absorb / final merge).
+  void Absorb(const WeightedAccum& other) {
+    count += other.count;
+    sum += other.sum;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+    tuples += other.tuples;
+  }
+
+  /// Weighted average (SUM/COUNT); 0 for an empty accumulator.
+  double Avg() const { return count > 0.0 ? sum / count : 0.0; }
+
+  bool operator==(const WeightedAccum& other) const {
+    return count == other.count && sum == other.sum && min == other.min &&
+           max == other.max && tuples == other.tuples;
+  }
+};
+
+}  // namespace ajoin

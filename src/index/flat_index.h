@@ -1,7 +1,7 @@
 // Cache-conscious open-addressing multimap over int64 keys -> uint64 row
-// ids: the flat, tag-filtered replacement for the chained HashIndex on the
-// equi-join hot path (the paper's joiners burn most of their probe cycles in
-// hashmap lookups, and those lookups are memory-bound).
+// ids: the flat, tag-filtered equi-hash index on the equi-join hot path
+// (the paper's joiners burn most of their probe cycles in hashmap lookups,
+// and those lookups are memory-bound).
 //
 // Layout (Swiss-table style, insert-only):
 //

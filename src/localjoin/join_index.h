@@ -2,10 +2,10 @@
 // kind — hash for equi, B+ tree for band, plain list for theta scans.
 // Concrete (no virtual dispatch) so joiner probe loops stay tight.
 //
-// The equi hash form has two implementations: the cache-conscious flat
-// tag-filtered index (src/index/flat_index.h, the default hot path) and the
-// chained HashIndex (src/index/hash_index.h), kept selectable as the
-// differential-test baseline until the flat path has soaked.
+// The equi hash form is the cache-conscious flat tag-filtered index
+// (src/index/flat_index.h). The chained baseline it soaked against has been
+// retired; the flat index's differential anchor is now the std-container
+// reference model in tests/flat_index_test.cc.
 
 #pragma once
 
@@ -14,7 +14,6 @@
 
 #include "src/index/btree.h"
 #include "src/index/flat_index.h"
-#include "src/index/hash_index.h"
 #include "src/localjoin/predicate.h"
 
 namespace ajoin {
@@ -22,14 +21,6 @@ namespace ajoin {
 class JoinIndex {
  public:
   enum class Kind : uint8_t { kHash, kTree, kScan };
-
-  /// Physical implementation of the kHash kind.
-  enum class HashImpl : uint8_t { kFlat, kChained };
-
-  /// Maps the operator-level use_flat_index flag to an implementation.
-  static HashImpl ImplFor(bool use_flat_index) {
-    return use_flat_index ? HashImpl::kFlat : HashImpl::kChained;
-  }
 
   /// Index kind appropriate for a predicate kind.
   static Kind KindFor(JoinSpec::Kind k) {
@@ -41,21 +32,14 @@ class JoinIndex {
     return Kind::kScan;
   }
 
-  /// Builds an index of `kind`; `impl` picks the kHash implementation (flat
-  /// by default, chained as the differential baseline).
-  explicit JoinIndex(Kind kind = Kind::kHash,
-                     HashImpl impl = HashImpl::kFlat)
-      : kind_(kind), impl_(impl) {}
+  /// Builds an index of `kind`.
+  explicit JoinIndex(Kind kind = Kind::kHash) : kind_(kind) {}
 
   /// Inserts (key, id). Keys may repeat (skewed foreign keys).
   void Add(int64_t key, uint64_t id) {
     switch (kind_) {
       case Kind::kHash:
-        if (impl_ == HashImpl::kFlat) {
-          flat_.Insert(key, id);
-        } else {
-          hash_.Insert(key, id);
-        }
+        flat_.Insert(key, id);
         break;
       case Kind::kTree:
         tree_.Insert(key, id);
@@ -73,11 +57,7 @@ class JoinIndex {
   void Reserve(size_t n) {
     switch (kind_) {
       case Kind::kHash:
-        if (impl_ == HashImpl::kFlat) {
-          flat_.Reserve(n);
-        } else {
-          hash_.Reserve(n);
-        }
+        flat_.Reserve(n);
         break;
       case Kind::kTree:
         break;  // B+ tree nodes are fixed-fanout; nothing useful to reserve
@@ -94,11 +74,7 @@ class JoinIndex {
   void ForEachCandidate(int64_t lo, int64_t hi, Fn&& fn) const {
     switch (kind_) {
       case Kind::kHash:
-        if (impl_ == HashImpl::kFlat) {
-          flat_.ForEachMatch(lo, fn);
-        } else {
-          hash_.ForEachMatch(lo, fn);
-        }
+        flat_.ForEachMatch(lo, fn);
         break;
       case Kind::kTree:
         tree_.ForEachInRange(lo, hi, [&fn](int64_t, uint64_t id) { fn(id); });
@@ -111,15 +87,15 @@ class JoinIndex {
 
   /// Batched POINT probes: calls fn(i, id) for every candidate whose key
   /// equals keys[i] exactly (plus all entries on kScan), i = 0..n-1 in
-  /// order. On the flat kHash implementation this is the
-  /// software-prefetch-pipelined hot path (see FlatHashIndex::ProbeRun);
-  /// the other forms degrade to a scalar point-probe loop. Range probes —
-  /// band joins need the ProbeRange-derived [lo, hi] interval — must keep
-  /// using ForEachCandidate; ProbeRun would silently drop in-band,
-  /// off-key matches.
+  /// order. On kHash this is the software-prefetch-pipelined hot path (see
+  /// FlatHashIndex::ProbeRun); the other forms degrade to a scalar
+  /// point-probe loop. Range probes — band joins need the
+  /// ProbeRange-derived [lo, hi] interval — must keep using
+  /// ForEachCandidate; ProbeRun would silently drop in-band, off-key
+  /// matches.
   template <typename Fn>
   void ProbeRun(const int64_t* keys, size_t n, Fn&& fn) const {
-    if (kind_ == Kind::kHash && impl_ == HashImpl::kFlat) {
+    if (kind_ == Kind::kHash) {
       flat_.ProbeRun(keys, n, fn);
       return;
     }
@@ -133,14 +109,11 @@ class JoinIndex {
   size_t size() const { return size_; }
   /// Physical index kind (hash / tree / scan).
   Kind kind() const { return kind_; }
-  /// Hash implementation in use (meaningful for kHash).
-  HashImpl hash_impl() const { return impl_; }
 
   /// Removes every entry; keeps allocated capacity where the underlying
   /// form supports it.
   void Clear() {
     flat_.Clear();
-    hash_.Clear();
     tree_.Clear();
     scan_.clear();
     size_ = 0;
@@ -148,15 +121,13 @@ class JoinIndex {
 
   /// Memory footprint estimate in bytes (ILF bookkeeping).
   size_t MemoryBytes() const {
-    return flat_.MemoryBytes() + hash_.MemoryBytes() + tree_.MemoryBytes() +
+    return flat_.MemoryBytes() + tree_.MemoryBytes() +
            scan_.capacity() * sizeof(uint64_t);
   }
 
  private:
   Kind kind_;
-  HashImpl impl_;
   FlatHashIndex flat_;
-  HashIndex hash_;
   BPlusTree tree_;
   std::vector<uint64_t> scan_;
   size_t size_ = 0;

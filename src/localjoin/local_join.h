@@ -24,16 +24,11 @@ namespace ajoin {
 class LocalJoiner {
  public:
   /// memory_budget_bytes = 0: fully in memory. Otherwise each side spills
-  /// past (roughly) half the budget. `use_flat_index` selects the equi
-  /// index implementation (flat tag-filtered by default; chained baseline
-  /// for differential runs).
-  explicit LocalJoiner(JoinSpec spec, size_t memory_budget_bytes = 0,
-                       bool use_flat_index = true)
+  /// past (roughly) half the budget.
+  explicit LocalJoiner(JoinSpec spec, size_t memory_budget_bytes = 0)
       : spec_(std::move(spec)),
-        index_{JoinIndex(JoinIndex::KindFor(spec_.kind),
-                         JoinIndex::ImplFor(use_flat_index)),
-               JoinIndex(JoinIndex::KindFor(spec_.kind),
-                         JoinIndex::ImplFor(use_flat_index))} {
+        index_{JoinIndex(JoinIndex::KindFor(spec_.kind)),
+               JoinIndex(JoinIndex::KindFor(spec_.kind))} {
     if (memory_budget_bytes > 0) {
       spill_[0] = std::make_unique<SpillStore>(memory_budget_bytes / 2);
       spill_[1] = std::make_unique<SpillStore>(memory_budget_bytes / 2);

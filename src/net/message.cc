@@ -17,6 +17,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kResult: return "Result";
     case MsgType::kScale: return "Scale";
     case MsgType::kShed: return "Shed";
+    case MsgType::kEosNote: return "EosNote";
+    case MsgType::kFlush: return "Flush";
   }
   return "?";
 }

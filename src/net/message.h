@@ -30,7 +30,14 @@ enum class MsgType : uint8_t {
                   // agnostic; field use: key = join key, seq = r_seq,
                   // tag = s_seq, bytes = r+s bytes, row = r_row ++ s_row,
                   // weight = Horvitz-Thompson weight, 1.0 unless the
-                  // emitting joiner was shedding)
+                  // emitting joiner was shedding).
+                  // Agg stages emit kResult too, with: key = group key,
+                  // seq = SplitMix64(key) (stable identity), tag =
+                  // accumulator partition, bytes = accumulator footprint,
+                  // weight = 1.0 (weights were consumed into the
+                  // accumulator), row = [key, count(double = sum of
+                  // weights), sum(double = sum of weight*value), min(i64),
+                  // max(i64), tuples(i64 raw merges)]; AVG = sum/count.
   kScale,         // operator/autoscaler -> controller reshuffler: elastic
                   // scale request; key = signed step count (+k = k grow
                   // steps of 4x, -k = k shrink steps of /4). Control: cuts
@@ -42,12 +49,21 @@ enum class MsgType : uint8_t {
                   // Control: cuts batches and serializes behind routed data
                   // on every edge it travels, so a rate change can never
                   // overtake the tuples admitted under the previous rate.
+  kEosNote,       // agg router -> controller router: every expected EOS for
+                  // this router's share of the stage input has arrived and
+                  // all data routed by it has been sent. Control: serializes
+                  // behind that routed data on the router->controller edge.
+  kFlush,         // controller router -> agg routers -> agg workers: the
+                  // whole stage's input is drained; emit final aggregates.
+                  // Control: serializes behind all data on every edge it
+                  // travels, so a flush can never overtake routed tuples or
+                  // in-flight migration state.
 };
 
 /// Number of MsgType values. Keep in lockstep with the enum above; the
 /// message tests assert MsgTypeName covers exactly this many values, so an
 /// unnamed (or uncounted) type cannot ship.
-constexpr uint8_t kNumMsgTypes = 13;
+constexpr uint8_t kNumMsgTypes = 15;
 
 /// kShed rate denominator: a kShed message with key == kShedExactPpm (or any
 /// larger value) restores exact, unsampled probing.
@@ -62,6 +78,12 @@ struct EpochSpec {
   Mapping mapping;       // new (n,m) mapping of that group
   bool expansion = false;  // kExpand: mapping refers to the expanded grid
   bool contraction = false;  // elastic shrink: mapping quarters the grid
+  /// Aggregation stages only: the new partition -> worker assignment
+  /// (indexed by accumulator partition, values are worker machine indices).
+  /// A keyed single-stream stage has no (n,m) grid to relabel, so its epoch
+  /// change ships the whole assignment vector instead. Empty for join
+  /// epochs.
+  std::vector<uint32_t> agg_assign;
 };
 
 struct Envelope {

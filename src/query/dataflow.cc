@@ -11,8 +11,7 @@ void ResultSink::OnMessage(Envelope msg, Context& ctx) {
   if (msg.type == MsgType::kEos) return;
   AJOIN_CHECK_MSG(msg.type == MsgType::kResult,
                   "ResultSink: unexpected message type");
-  ++count_;
-  weighted_count_ += msg.weight;
+  weighted_.Merge(msg.weight, static_cast<int64_t>(msg.bytes));
   total_bytes_ += msg.bytes;
   if (options_.collect_pairs) pairs_.emplace_back(msg.seq, msg.tag);
   if (options_.collect_keyed_weights) {
@@ -41,6 +40,17 @@ int Dataflow::AddJoin(const OperatorConfig& config) {
   return static_cast<int>(stages_.size()) - 1;
 }
 
+int Dataflow::AddGroupBy(const AggConfig& config) {
+  Stage stage;
+  AggConfig cfg = config;
+  if (cfg.registry == nullptr) cfg.registry = registry_;
+  if (cfg.trace == nullptr) cfg.trace = trace_;
+  stage.agg = std::make_unique<AggOperator>(engine_, cfg);
+  stage.registry = cfg.registry;
+  stages_.push_back(std::move(stage));
+  return static_cast<int>(stages_.size()) - 1;
+}
+
 int Dataflow::AddSink(ResultSink::Options options) {
   Stage stage;
   auto sink = std::make_unique<ResultSink>(options);
@@ -59,9 +69,18 @@ void Dataflow::Connect(int from, int to, ConnectOptions options) {
                   "edges point at higher task ids)");
   Stage& src = stages_[static_cast<size_t>(from)];
   Stage& dst = stages_[static_cast<size_t>(to)];
-  AJOIN_CHECK_MSG(src.op != nullptr, "Connect: source must be a join stage");
+  AJOIN_CHECK_MSG(src.op != nullptr || src.agg != nullptr,
+                  "Connect: source must be a join or group-by stage");
   AJOIN_CHECK_MSG(!src.connected_out, "Connect: stage egress already wired");
   src.connected_out = true;
+  if (src.agg != nullptr) {
+    // A group-by's egress is its final (or periodic) aggregate batches:
+    // they terminate at a sink, never re-enter another operator stage.
+    AJOIN_CHECK_MSG(dst.sink != nullptr,
+                    "Connect: group-by egress must terminate at a sink");
+    src.agg->RouteResultsTo({dst.sink_task});
+    return;
+  }
   if (dst.op != nullptr) {
     // One inbound result edge per join stage: a reshuffler cannot tell
     // result envelopes from different upstream stages apart, so a second
@@ -72,6 +91,17 @@ void Dataflow::Connect(int from, int to, ConnectOptions options) {
     dst.connected_in = true;
     src.op->RouteResultsTo(dst.op->reshuffler_ids());
     dst.op->AcceptResultsAs(options.rel, options.key_col);
+    // Every upstream joiner slot forwards one kEos when it drains; each
+    // downstream reshuffler must wait for its wired share before fanning
+    // end-of-stream out to its own joiners.
+    dst.op->AddResultFeeders(src.op->joiner_task_ids().size());
+  } else if (dst.agg != nullptr) {
+    AJOIN_CHECK_MSG(
+        !dst.connected_in,
+        "Connect: group-by stage already has an inbound result edge");
+    dst.connected_in = true;
+    src.op->RouteResultsTo(dst.agg->router_ids());
+    dst.agg->AddResultFeeders(src.op->joiner_task_ids().size());
   } else {
     src.op->RouteResultsTo({dst.sink_task});
   }
@@ -83,6 +113,14 @@ JoinOperator& Dataflow::join(int handle) {
   Stage& stage = stages_[static_cast<size_t>(handle)];
   AJOIN_CHECK_MSG(stage.op != nullptr, "join(): not a join stage");
   return *stage.op;
+}
+
+AggOperator& Dataflow::groupby(int handle) {
+  AJOIN_CHECK_MSG(handle >= 0 && handle < static_cast<int>(stages_.size()),
+                  "groupby(): unknown stage");
+  Stage& stage = stages_[static_cast<size_t>(handle)];
+  AJOIN_CHECK_MSG(stage.agg != nullptr, "groupby(): not a group-by stage");
+  return *stage.agg;
 }
 
 const ResultSink& Dataflow::sink(int handle) const {
@@ -170,12 +208,14 @@ ShedController& Dataflow::shedding(int handle) {
 void Dataflow::FlushInput() {
   for (Stage& stage : stages_) {
     if (stage.op != nullptr) stage.op->FlushInput();
+    if (stage.agg != nullptr) stage.agg->FlushInput();
   }
 }
 
 void Dataflow::SendEos() {
   for (Stage& stage : stages_) {
     if (stage.op != nullptr) stage.op->SendEos();
+    if (stage.agg != nullptr) stage.agg->SendEos();
   }
 }
 

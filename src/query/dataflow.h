@@ -26,9 +26,11 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/agg.h"
 #include "src/core/autoscale.h"
 #include "src/core/operator.h"
 #include "src/core/shed.h"
+#include "src/core/weighted.h"
 #include "src/runtime/task.h"
 
 namespace ajoin {
@@ -60,11 +62,15 @@ class ResultSink : public Task {
   void OnMessage(Envelope msg, Context& ctx) override;
 
   /// Results received so far (quiescent engine).
-  uint64_t count() const { return count_; }
+  uint64_t count() const { return weighted_.tuples; }
   /// Sum of received Horvitz-Thompson weights: an unbiased estimator of the
   /// exact output cardinality whether or not upstream joiners were shedding
   /// (every exact result contributes 1.0).
-  double weighted_count() const { return weighted_count_; }
+  double weighted_count() const { return weighted_.count; }
+  /// The full weighted accumulator over received results (the same
+  /// WeightedAccum the aggregation operator folds per group, here merged
+  /// over everything with the result byte size as the value).
+  const WeightedAccum& weighted() const { return weighted_; }
   /// Sum of received result byte sizes (r bytes + s bytes per result).
   uint64_t total_bytes() const { return total_bytes_; }
   /// All received (r_seq, s_seq) identities, sorted — directly comparable
@@ -80,8 +86,7 @@ class ResultSink : public Task {
 
  private:
   Options options_;
-  uint64_t count_ = 0;
-  double weighted_count_ = 0;
+  WeightedAccum weighted_;  // count/weights over every received result
   uint64_t total_bytes_ = 0;
   std::vector<std::pair<uint64_t, uint64_t>> pairs_;
   std::vector<Row> rows_;
@@ -120,6 +125,13 @@ class Dataflow {
   /// engine); returns its stage handle.
   int AddJoin(const OperatorConfig& config);
 
+  /// Adds an adaptive streaming group-by/aggregate stage (a full
+  /// AggOperator assembly: routers + partitioned accumulator workers on the
+  /// same migration substrate); returns its stage handle. Feed it either
+  /// directly (`groupby(h).Push(...)`) or by Connect-ing an upstream join's
+  /// egress into it; its own egress Connects to a sink.
+  int AddGroupBy(const AggConfig& config);
+
   /// Adds a terminal ResultSink stage (pairs only); returns its handle.
   int AddSink() { return AddSink(ResultSink::Options()); }
   /// Adds a terminal ResultSink stage; returns its stage handle.
@@ -145,6 +157,8 @@ class Dataflow {
 
   /// The join facade of stage `handle` (must be an AddJoin stage).
   JoinOperator& join(int handle);
+  /// The group-by facade of stage `handle` (must be an AddGroupBy stage).
+  AggOperator& groupby(int handle);
   /// The sink of stage `handle` (must be an AddSink stage; engine must be
   /// quiescent).
   const ResultSink& sink(int handle) const;
@@ -201,8 +215,9 @@ class Dataflow {
 
  private:
   struct Stage {
-    std::unique_ptr<JoinOperator> op;  // null for sink stages
-    ResultSink* sink = nullptr;        // owned by the engine
+    std::unique_ptr<JoinOperator> op;   // null for sink/agg stages
+    std::unique_ptr<AggOperator> agg;   // null for join/sink stages
+    ResultSink* sink = nullptr;         // owned by the engine
     int sink_task = -1;
     MetricsRegistry* registry = nullptr;  // effective registry for the stage
     std::unique_ptr<AutoscaleController> autoscale;

@@ -91,7 +91,7 @@ uint64_t TelemetrySampler::samples_taken() const {
 
 std::string TelemetrySampler::SummaryLine(const TelemetrySample& sample) {
   uint64_t in = 0, out = 0, stored = 0, migrations = 0, routed = 0;
-  int migrating = 0, joiners = 0, reshufflers = 0;
+  int migrating = 0, joiners = 0, reshufflers = 0, aggs = 0;
   for (const TaskSnapshot& task : sample.tasks) {
     if (task.kind == TaskKind::kJoiner) {
       joiners++;
@@ -100,6 +100,13 @@ std::string TelemetrySampler::SummaryLine(const TelemetrySample& sample) {
       stored += task.joiner.stored_tuples;
       migrations += task.joiner.migrations_finalized;
       if (task.joiner.migrating) migrating++;
+    } else if (task.kind == TaskKind::kAgg) {
+      aggs++;
+      in += task.agg.in_tuples;
+      out += task.agg.emitted_results;
+      stored += task.agg.groups;
+      migrations += task.agg.migrations_finalized;
+      if (task.agg.migrating) migrating++;
     } else {
       reshufflers++;
       routed += task.reshuffler.routed_tuples;
@@ -114,12 +121,14 @@ std::string TelemetrySampler::SummaryLine(const TelemetrySample& sample) {
   }
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "[telemetry t=%.3fs] %dJ+%dR in=%" PRIu64 " routed=%" PRIu64
-                " out=%" PRIu64 " stored=%" PRIu64 " migrations=%" PRIu64
-                " (%d live) stalls=%" PRIu64 " stall_ms=%.2f ring_peak=%u",
+                "[telemetry t=%.3fs] %dJ+%dR+%dA in=%" PRIu64
+                " routed=%" PRIu64 " out=%" PRIu64 " stored=%" PRIu64
+                " migrations=%" PRIu64 " (%d live) stalls=%" PRIu64
+                " stall_ms=%.2f ring_peak=%u",
                 static_cast<double>(sample.t_us) / 1e6, joiners, reshufflers,
-                in, routed, out, stored, migrations, migrating, edge_waits,
-                static_cast<double>(edge_wait_ns) / 1e6, ring_peak);
+                aggs, in, routed, out, stored, migrations, migrating,
+                edge_waits, static_cast<double>(edge_wait_ns) / 1e6,
+                ring_peak);
   return std::string(buf);
 }
 
@@ -182,6 +191,20 @@ void AppendTask(std::string* out, const TaskSnapshot& task) {
     AppendKv(out, "shed_probes_skipped", j.shed_probes_skipped, &first);
     AppendKv(out, "shed_rate_ppm", static_cast<uint64_t>(j.shed_rate_ppm),
              &first);
+  } else if (task.kind == TaskKind::kAgg) {
+    const AggSnapshot& a = task.agg;
+    AppendKv(out, "in_tuples", a.in_tuples, &first);
+    AppendKv(out, "in_bytes", a.in_bytes, &first);
+    AppendKv(out, "groups", a.groups, &first);
+    AppendKv(out, "table_bytes", a.table_bytes, &first);
+    AppendKv(out, "mig_out_cells", a.mig_out_cells, &first);
+    AppendKv(out, "mig_in_cells", a.mig_in_cells, &first);
+    AppendKv(out, "migrations_finalized", a.migrations_finalized, &first);
+    AppendKv(out, "emitted_results", a.emitted_results, &first);
+    AppendKv(out, "epoch", static_cast<uint64_t>(a.epoch), &first);
+    AppendKv(out, "migrating", static_cast<uint64_t>(a.migrating ? 1 : 0),
+             &first);
+    AppendKv(out, "flushed", static_cast<uint64_t>(a.flushed ? 1 : 0), &first);
   } else {
     const ReshufflerSnapshot& r = task.reshuffler;
     AppendKv(out, "routed_tuples", r.routed_tuples, &first);

@@ -79,12 +79,19 @@ class SeqlockCell {
   mc::Atomic<uint64_t> words_[N] = {};
 };
 
-/// What kind of task a registry entry describes.
-enum class TaskKind { kJoiner, kReshuffler };
+/// What kind of task a registry entry describes. Agg routers reuse the
+/// reshuffler counter set (they are routing tasks); agg workers get their
+/// own accumulator-table layout.
+enum class TaskKind { kJoiner, kReshuffler, kAgg };
 
-/// Human-readable name of a task kind ("joiner" / "reshuffler").
+/// Human-readable name of a task kind ("joiner" / "reshuffler" / "agg").
 inline const char* TaskKindName(TaskKind kind) {
-  return kind == TaskKind::kJoiner ? "joiner" : "reshuffler";
+  switch (kind) {
+    case TaskKind::kJoiner: return "joiner";
+    case TaskKind::kReshuffler: return "reshuffler";
+    case TaskKind::kAgg: return "agg";
+  }
+  return "?";
 }
 
 /// Consistent copy of one joiner's counters plus its protocol state.
@@ -122,6 +129,22 @@ struct ReshufflerSnapshot {
   uint64_t results_restamped = 0;
 };
 
+/// Consistent copy of one agg worker's accumulator-table counters plus its
+/// protocol state (kAgg entries).
+struct AggSnapshot {
+  uint64_t in_tuples = 0;     // data tuples merged (excludes migrated cells)
+  uint64_t in_bytes = 0;      // accounted bytes of those tuples
+  uint64_t groups = 0;        // distinct group keys resident right now
+  uint64_t table_bytes = 0;   // accumulator-table footprint (MemoryBytes)
+  uint64_t mig_out_cells = 0;  // accumulator cells shipped to other workers
+  uint64_t mig_in_cells = 0;   // accumulator cells absorbed from others
+  uint64_t migrations_finalized = 0;
+  uint64_t emitted_results = 0;  // kResult aggregates emitted downstream
+  uint32_t epoch = 0;         // assignment epoch the worker is in
+  bool migrating = false;     // mid-repartition right now?
+  bool flushed = false;       // final aggregates emitted (stage drained)
+};
+
 /// One task's entry in a registry snapshot. Exactly one of joiner /
 /// reshuffler is meaningful, selected by `kind`.
 struct TaskSnapshot {
@@ -129,6 +152,7 @@ struct TaskSnapshot {
   TaskKind kind = TaskKind::kJoiner;
   JoinerSnapshot joiner;
   ReshufflerSnapshot reshuffler;
+  AggSnapshot agg;
 };
 
 /// Per-task snapshot cell. The owning task publishes after processing a
@@ -218,6 +242,44 @@ class TaskTelemetry {
     return s;
   }
 
+  /// Publishes an agg worker's accumulator counters plus epoch / migration /
+  /// flush state. Call from the owning task's thread only.
+  void PublishAgg(const AggSnapshot& s) {
+    uint64_t w[kWords] = {};
+    w[0] = s.in_tuples;
+    w[1] = s.in_bytes;
+    w[2] = s.groups;
+    w[3] = s.table_bytes;
+    w[4] = s.mig_out_cells;
+    w[5] = s.mig_in_cells;
+    w[6] = s.migrations_finalized;
+    w[7] = s.emitted_results;
+    w[8] = s.epoch;
+    w[9] = s.migrating ? 1 : 0;
+    w[10] = s.flushed ? 1 : 0;
+    cell_.Publish(w);
+  }
+
+  /// Decodes the cell as an agg worker snapshot (meaningful only for kAgg
+  /// entries). Callable from any thread.
+  AggSnapshot ReadAgg() const {
+    uint64_t w[kWords];
+    cell_.Read(w);
+    AggSnapshot s;
+    s.in_tuples = w[0];
+    s.in_bytes = w[1];
+    s.groups = w[2];
+    s.table_bytes = w[3];
+    s.mig_out_cells = w[4];
+    s.mig_in_cells = w[5];
+    s.migrations_finalized = w[6];
+    s.emitted_results = w[7];
+    s.epoch = static_cast<uint32_t>(w[8]);
+    s.migrating = w[9] != 0;
+    s.flushed = w[10] != 0;
+    return s;
+  }
+
   /// Decodes the cell as a reshuffler snapshot (meaningful only for
   /// kReshuffler entries). Callable from any thread.
   ReshufflerSnapshot ReadReshuffler() const {
@@ -262,6 +324,8 @@ class MetricsRegistry {
       snap.kind = slot.kind;
       if (slot.kind == TaskKind::kJoiner) {
         snap.joiner = slot.cell.ReadJoiner();
+      } else if (slot.kind == TaskKind::kAgg) {
+        snap.agg = slot.cell.ReadAgg();
       } else {
         snap.reshuffler = slot.cell.ReadReshuffler();
       }

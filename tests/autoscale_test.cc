@@ -412,7 +412,7 @@ bool AnyJoinerMigrating(const MetricsRegistry& registry) {
 /// expansions/contractions.
 std::vector<std::pair<uint64_t, uint64_t>> RunElastic(
     const std::vector<StreamTuple>& stream, const JoinSpec& spec,
-    const std::vector<ScaleStep>& schedule, Plane plane, bool use_flat_index,
+    const std::vector<ScaleStep>& schedule, Plane plane,
     uint64_t* expansions, uint64_t* contractions, bool race = false) {
   std::unique_ptr<Engine> engine = MakeEngine(plane);
   MetricsRegistry registry;
@@ -424,7 +424,6 @@ std::vector<std::pair<uint64_t, uint64_t>> RunElastic(
   cfg.min_total_before_adapt = 16;
   cfg.collect_pairs = true;
   cfg.max_expansions = 2;
-  cfg.use_flat_index = use_flat_index;
   cfg.registry = &registry;
   JoinOperator op(*engine, cfg);
   engine->Start();
@@ -478,26 +477,20 @@ TEST(AutoscaleDifferential, ScaleScheduleMatchesFixedRunAcrossPlanes) {
     // Two full grow/shrink cycles interleaved with live ILF relabels.
     std::vector<ScaleStep> schedule = {
         {n / 4, +1}, {n / 2, -1}, {2 * n / 3, +1}, {5 * n / 6, -1}};
-    for (bool flat : {true, false}) {
-      for (Plane plane : kScalePlanes) {
-        uint64_t ex = 0, co = 0;
-        auto scaled =
-            RunElastic(stream, spec, schedule, plane, flat, &ex, &co);
-        uint64_t fex = 0, fco = 0;
-        auto fixed = RunElastic(stream, spec, {}, plane, flat, &fex, &fco);
-        EXPECT_EQ(scaled, want)
-            << "seed " << seed << " " << PlaneName(plane) << " flat=" << flat;
-        EXPECT_EQ(fixed, want)
-            << "seed " << seed << " " << PlaneName(plane) << " flat=" << flat;
-        EXPECT_EQ(scaled, fixed)
-            << "seed " << seed << " " << PlaneName(plane) << " flat=" << flat;
-        // Every scheduled step committed: 2 expansions, 2 contractions; the
-        // fixed run saw none.
-        EXPECT_EQ(ex, 2u) << "seed " << seed << " " << PlaneName(plane);
-        EXPECT_EQ(co, 2u) << "seed " << seed << " " << PlaneName(plane);
-        EXPECT_EQ(fex, 0u);
-        EXPECT_EQ(fco, 0u);
-      }
+    for (Plane plane : kScalePlanes) {
+      uint64_t ex = 0, co = 0;
+      auto scaled = RunElastic(stream, spec, schedule, plane, &ex, &co);
+      uint64_t fex = 0, fco = 0;
+      auto fixed = RunElastic(stream, spec, {}, plane, &fex, &fco);
+      EXPECT_EQ(scaled, want) << "seed " << seed << " " << PlaneName(plane);
+      EXPECT_EQ(fixed, want) << "seed " << seed << " " << PlaneName(plane);
+      EXPECT_EQ(scaled, fixed) << "seed " << seed << " " << PlaneName(plane);
+      // Every scheduled step committed: 2 expansions, 2 contractions; the
+      // fixed run saw none.
+      EXPECT_EQ(ex, 2u) << "seed " << seed << " " << PlaneName(plane);
+      EXPECT_EQ(co, 2u) << "seed " << seed << " " << PlaneName(plane);
+      EXPECT_EQ(fex, 0u);
+      EXPECT_EQ(fco, 0u);
     }
   }
 }
@@ -518,8 +511,7 @@ TEST(AutoscaleDifferential, BackToBackGrowShrinkRace) {
       {n / 3, +1}, {n / 3, -1}, {2 * n / 3, +1}, {2 * n / 3, -1}};
   for (Plane plane : kScalePlanes) {
     uint64_t ex = 0, co = 0;
-    auto scaled = RunElastic(stream, spec, schedule, plane,
-                             /*use_flat_index=*/true, &ex, &co,
+    auto scaled = RunElastic(stream, spec, schedule, plane, &ex, &co,
                              /*race=*/true);
     EXPECT_EQ(scaled, want) << PlaneName(plane);
     if (plane == Plane::kSim) {
@@ -540,8 +532,7 @@ TEST(AutoscaleDifferential, MultiStepJumpToMaxAndBack) {
   std::vector<ScaleStep> schedule = {{n / 4, +2}, {3 * n / 4, -2}};
   for (Plane plane : kScalePlanes) {
     uint64_t ex = 0, co = 0;
-    auto scaled = RunElastic(stream, spec, schedule, plane,
-                             /*use_flat_index=*/true, &ex, &co);
+    auto scaled = RunElastic(stream, spec, schedule, plane, &ex, &co);
     EXPECT_EQ(scaled, want) << PlaneName(plane);
     EXPECT_EQ(ex, 2u) << PlaneName(plane);
     EXPECT_EQ(co, 2u) << PlaneName(plane);
@@ -558,8 +549,7 @@ TEST(AutoscaleDifferential, OutOfBoundsRequestsAreRefusedHarmlessly) {
   // Shrink at the minimum grid; grow 5 steps where only 2 levels exist.
   std::vector<ScaleStep> schedule = {{n / 5, -1}, {n / 2, +5}, {4 * n / 5, -1}};
   uint64_t ex = 0, co = 0;
-  auto scaled = RunElastic(stream, spec, schedule, Plane::kSim,
-                           /*use_flat_index=*/true, &ex, &co);
+  auto scaled = RunElastic(stream, spec, schedule, Plane::kSim, &ex, &co);
   EXPECT_EQ(scaled, want);
   EXPECT_EQ(ex, 2u);  // two levels committed, the rest dropped
   EXPECT_EQ(co, 1u);  // only the post-grow shrink was in bounds

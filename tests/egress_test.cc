@@ -111,8 +111,7 @@ std::unique_ptr<Engine> MakeEngine(Plane plane) {
 
 // Runs `stream` through a JoinOperator with a ResultSink wired to every
 // joiner, and asserts the streamed pairs equal the polled CollectPairs().
-void RunSinkVsPoll(Plane plane, bool use_flat_index,
-                   const std::vector<StreamTuple>& stream,
+void RunSinkVsPoll(Plane plane, const std::vector<StreamTuple>& stream,
                    const std::vector<std::pair<uint64_t, uint64_t>>& want) {
   std::unique_ptr<Engine> engine = MakeEngine(plane);
   OperatorConfig cfg;
@@ -122,7 +121,6 @@ void RunSinkVsPoll(Plane plane, bool use_flat_index,
   cfg.epsilon = 0.25;  // aggressive: migrations concurrent with egress
   cfg.min_total_before_adapt = 16;
   cfg.collect_pairs = true;
-  cfg.use_flat_index = use_flat_index;
   JoinOperator op(*engine, cfg);
   // The sink is added after the operator, so every result edge points at a
   // higher task id (the credit-blocking order the exchange plane needs).
@@ -135,13 +133,11 @@ void RunSinkVsPoll(Plane plane, bool use_flat_index,
   op.SendEos();
   engine->WaitQuiescent();
   const auto polled = op.CollectPairs();
-  EXPECT_EQ(polled, want) << PlaneName(plane) << " flat=" << use_flat_index;
-  EXPECT_EQ(sink->SortedPairs(), polled)
-      << PlaneName(plane) << " flat=" << use_flat_index;
+  EXPECT_EQ(polled, want) << PlaneName(plane);
+  EXPECT_EQ(sink->SortedPairs(), polled) << PlaneName(plane);
   EXPECT_EQ(sink->count(), polled.size());
   ASSERT_NE(op.controller(), nullptr);
-  EXPECT_GE(op.controller()->log().size(), 1u)
-      << PlaneName(plane) << " flat=" << use_flat_index;
+  EXPECT_GE(op.controller()->log().size(), 1u) << PlaneName(plane);
   engine->Shutdown();
 }
 
@@ -149,9 +145,7 @@ TEST(Egress, SinkMatchesCollectPairsAcrossProtocolMatrix) {
   auto stream = MakeStream(300, 900, 20, 61);
   const auto want = ReferencePairs(stream);
   for (Plane plane : kAllPlanes) {
-    for (bool flat : {true, false}) {
-      RunSinkVsPoll(plane, flat, stream, want);
-    }
+    RunSinkVsPoll(plane, stream, want);
   }
 }
 

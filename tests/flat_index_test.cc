@@ -1,18 +1,20 @@
 // FlatHashIndex correctness: unit tests for the tag-filtered open-addressing
-// multimap plus the randomized differential suite pinning it to the chained
-// HashIndex baseline over Zipf-skewed, duplicate-heavy key streams with
-// interleaved store/probe and partition extract/absorb cycles.
+// multimap plus the randomized differential suite pinning it to a
+// std-container reference model over Zipf-skewed, duplicate-heavy key
+// streams with interleaved store/probe and partition extract/absorb cycles.
+// (The chained HashIndex this suite originally soaked against has been
+// retired; the reference model is now the differential anchor.)
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/common/random.h"
 #include "src/index/flat_index.h"
-#include "src/index/hash_index.h"
 #include "src/localjoin/join_index.h"
 
 namespace ajoin {
@@ -25,12 +27,42 @@ std::vector<uint64_t> SortedMatches(const FlatHashIndex& index, int64_t key) {
   return out;
 }
 
-std::vector<uint64_t> SortedMatches(const HashIndex& index, int64_t key) {
-  std::vector<uint64_t> out;
-  index.ForEachMatch(key, [&out](uint64_t id) { out.push_back(id); });
-  std::sort(out.begin(), out.end());
-  return out;
-}
+/// Obviously-correct multimap reference: the differential baseline the flat
+/// index is pinned against.
+class RefIndex {
+ public:
+  void Insert(int64_t key, uint64_t id) {
+    groups_[key].push_back(id);
+    ++size_;
+  }
+  std::vector<uint64_t> SortedMatches(int64_t key) const {
+    auto it = groups_.find(key);
+    if (it == groups_.end()) return {};
+    std::vector<uint64_t> out = it->second;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  uint64_t CountMatches(int64_t key) const {
+    auto it = groups_.find(key);
+    return it == groups_.end() ? 0 : it->second.size();
+  }
+  /// Per-key ids in insertion order, probe-run shaped: (probe index, id).
+  void ForEachMatch(int64_t key, size_t i,
+                    std::vector<std::pair<size_t, uint64_t>>* out) const {
+    auto it = groups_.find(key);
+    if (it == groups_.end()) return;
+    for (uint64_t id : it->second) out->emplace_back(i, id);
+  }
+  void Clear() {
+    groups_.clear();
+    size_ = 0;
+  }
+  size_t size() const { return size_; }
+
+ private:
+  std::unordered_map<int64_t, std::vector<uint64_t>> groups_;
+  size_t size_ = 0;
+};
 
 TEST(FlatIndex, InsertAndMatch) {
   FlatHashIndex index;
@@ -122,18 +154,6 @@ TEST(FlatIndex, ReserveWithKnownSkewSizesByDistinctKeys) {
   EXPECT_LE(organic.MemoryBytes(), organic_bytes * 2);
 }
 
-TEST(ChainedIndex, ReservePreservesMatches) {
-  HashIndex index;
-  for (int64_t k = 0; k < 100; ++k) index.Insert(k % 10, static_cast<uint64_t>(k));
-  index.Reserve(10000);
-  for (int64_t k = 0; k < 10; ++k) {
-    EXPECT_EQ(index.CountMatches(k), 10u) << "key " << k;
-  }
-  const size_t bytes_before = index.MemoryBytes();
-  for (int64_t k = 100; k < 10100; ++k) index.Insert(k, static_cast<uint64_t>(k));
-  EXPECT_EQ(index.MemoryBytes(), bytes_before);
-}
-
 TEST(FlatIndex, ProbeRunMatchesScalarExactly) {
   // ProbeRun must emit exactly what per-key ForEachMatch emits, as (probe
   // index, row id) pairs in probe order with runs in insertion order —
@@ -180,8 +200,9 @@ TEST(FlatIndex, ProbeRunShortBatches) {
 }
 
 // ---------------------------------------------------------------------------
-// Randomized differential: flat vs chained over Zipf-skewed duplicate-heavy
-// streams with interleaved store/probe and partition extract/absorb.
+// Randomized differential: flat vs the std-container reference over
+// Zipf-skewed duplicate-heavy streams with interleaved store/probe and
+// partition extract/absorb.
 // ---------------------------------------------------------------------------
 
 // Partition of a key for the extract/absorb simulation (mirrors the tag
@@ -197,7 +218,7 @@ TEST(FlatIndexDifferential, ZipfStreamsWithExtractAbsorb) {
     const double z = (seed % 3 == 0) ? 0.0 : (seed % 3 == 1 ? 0.8 : 1.0);
     ZipfSampler zipf(256, z);
     FlatHashIndex flat;
-    HashIndex chained;
+    RefIndex ref;
     // (key, id) log so extract/absorb can rebuild both sides.
     std::vector<std::pair<int64_t, uint64_t>> log;
     uint64_t next_id = 0;
@@ -207,20 +228,21 @@ TEST(FlatIndexDifferential, ZipfStreamsWithExtractAbsorb) {
         // Store.
         const int64_t key = static_cast<int64_t>(zipf.Sample(rng));
         flat.Insert(key, next_id);
-        chained.Insert(key, next_id);
+        ref.Insert(key, next_id);
         log.emplace_back(key, next_id);
         ++next_id;
       } else if (dice < 0.95) {
-        // Probe: identical match sets (as sorted multisets; the two indexes
+        // Probe: identical match sets (as sorted multisets; the two sides
         // have different internal orders).
         const int64_t key = rng.NextBool(0.7)
                                 ? static_cast<int64_t>(zipf.Sample(rng))
                                 : static_cast<int64_t>(rng.Uniform(1 << 16));
-        EXPECT_EQ(SortedMatches(flat, key), SortedMatches(chained, key))
+        EXPECT_EQ(SortedMatches(flat, key), ref.SortedMatches(key))
             << "seed " << seed << " op " << op << " key " << key;
-        EXPECT_EQ(flat.CountMatches(key), chained.CountMatches(key));
+        EXPECT_EQ(flat.CountMatches(key), ref.CountMatches(key));
       } else if (dice < 0.99 || log.empty()) {
-        // Batched vs scalar probe run on the flat side.
+        // Batched probe run on the flat side vs the reference's per-key
+        // scan.
         std::vector<int64_t> probes;
         for (int i = 0; i < 64; ++i) {
           probes.push_back(static_cast<int64_t>(zipf.Sample(rng)));
@@ -230,15 +252,13 @@ TEST(FlatIndexDifferential, ZipfStreamsWithExtractAbsorb) {
           batched.emplace_back(i, id);
         });
         for (size_t i = 0; i < probes.size(); ++i) {
-          chained.ForEachMatch(probes[i], [&](uint64_t id) {
-            scalar.emplace_back(i, id);
-          });
+          ref.ForEachMatch(probes[i], i, &scalar);
         }
         std::sort(batched.begin(), batched.end());
         std::sort(scalar.begin(), scalar.end());
         EXPECT_EQ(batched, scalar) << "seed " << seed << " op " << op;
       } else {
-        // Extract/absorb: one of 4 partitions migrates out — both indexes
+        // Extract/absorb: one of 4 partitions migrates out — both sides
         // rebuild from the retained log (exactly what FinalizeMigration
         // does), the extracted partition is absorbed into fresh pre-sized
         // indexes, and both sides must again agree.
@@ -250,67 +270,63 @@ TEST(FlatIndexDifferential, ZipfStreamsWithExtractAbsorb) {
               .push_back(entry);
         }
         flat.Clear();
-        chained.Clear();
+        ref.Clear();
         flat.Reserve(kept.size());
-        chained.Reserve(kept.size());
         for (const auto& [key, id] : kept) {
           flat.Insert(key, id);
-          chained.Insert(key, id);
+          ref.Insert(key, id);
         }
         FlatHashIndex absorbed_flat;
-        HashIndex absorbed_chained;
+        RefIndex absorbed_ref;
         absorbed_flat.Reserve(extracted.size());
-        absorbed_chained.Reserve(extracted.size());
         for (const auto& [key, id] : extracted) {
           absorbed_flat.Insert(key, id);
-          absorbed_chained.Insert(key, id);
+          absorbed_ref.Insert(key, id);
         }
         for (int s = 0; s < 32; ++s) {
           const int64_t key = static_cast<int64_t>(zipf.Sample(rng));
-          EXPECT_EQ(SortedMatches(flat, key), SortedMatches(chained, key));
+          EXPECT_EQ(SortedMatches(flat, key), ref.SortedMatches(key));
           EXPECT_EQ(SortedMatches(absorbed_flat, key),
-                    SortedMatches(absorbed_chained, key));
+                    absorbed_ref.SortedMatches(key));
         }
-        EXPECT_EQ(flat.size(), chained.size());
+        EXPECT_EQ(flat.size(), ref.size());
         log = std::move(kept);
       }
     }
-    EXPECT_EQ(flat.size(), chained.size()) << "seed " << seed;
+    EXPECT_EQ(flat.size(), ref.size()) << "seed " << seed;
     EXPECT_GT(flat.MemoryBytes(), 0u);
   }
 }
 
-TEST(FlatIndexDifferential, JoinIndexImplsAgree) {
-  // The JoinIndex wrapper must behave identically across HashImpl choices,
-  // including Reserve and the ProbeRun fallback on the chained impl.
+TEST(FlatIndexDifferential, JoinIndexHashMatchesReference) {
+  // The JoinIndex wrapper over the flat index must agree with the reference
+  // model through Add/Reserve/ProbeRun.
   Rng rng(99);
   ZipfSampler zipf(128, 1.0);
-  JoinIndex flat(JoinIndex::Kind::kHash, JoinIndex::HashImpl::kFlat);
-  JoinIndex chained(JoinIndex::Kind::kHash, JoinIndex::HashImpl::kChained);
-  flat.Reserve(5000);
-  chained.Reserve(5000);
+  JoinIndex index(JoinIndex::Kind::kHash);
+  RefIndex ref;
+  index.Reserve(5000);
   for (uint64_t i = 0; i < 5000; ++i) {
     const int64_t key = static_cast<int64_t>(zipf.Sample(rng));
-    flat.Add(key, i);
-    chained.Add(key, i);
+    index.Add(key, i);
+    ref.Insert(key, i);
   }
-  EXPECT_EQ(flat.size(), chained.size());
-  EXPECT_EQ(flat.hash_impl(), JoinIndex::HashImpl::kFlat);
-  EXPECT_EQ(chained.hash_impl(), JoinIndex::HashImpl::kChained);
+  EXPECT_EQ(index.size(), ref.size());
+  EXPECT_EQ(index.kind(), JoinIndex::Kind::kHash);
   std::vector<int64_t> probes;
   for (int i = 0; i < 500; ++i) {
     probes.push_back(static_cast<int64_t>(zipf.Sample(rng)));
   }
-  std::vector<std::pair<size_t, uint64_t>> from_flat, from_chained;
-  flat.ProbeRun(probes.data(), probes.size(), [&](size_t i, uint64_t id) {
-    from_flat.emplace_back(i, id);
+  std::vector<std::pair<size_t, uint64_t>> from_index, from_ref;
+  index.ProbeRun(probes.data(), probes.size(), [&](size_t i, uint64_t id) {
+    from_index.emplace_back(i, id);
   });
-  chained.ProbeRun(probes.data(), probes.size(), [&](size_t i, uint64_t id) {
-    from_chained.emplace_back(i, id);
-  });
-  std::sort(from_flat.begin(), from_flat.end());
-  std::sort(from_chained.begin(), from_chained.end());
-  EXPECT_EQ(from_flat, from_chained);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ref.ForEachMatch(probes[i], i, &from_ref);
+  }
+  std::sort(from_index.begin(), from_index.end());
+  std::sort(from_ref.begin(), from_ref.end());
+  EXPECT_EQ(from_index, from_ref);
 }
 
 }  // namespace

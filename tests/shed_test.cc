@@ -612,41 +612,37 @@ TEST(ShedStatistics, ExactResultsCarryUnitWeight) {
 
 // ---- Shed-disabled differential: byte-identical opt-out ---------------------
 
-TEST(ShedDifferential, DisabledSheddingIsByteIdenticalAcrossPlaneAndIndex) {
+TEST(ShedDifferential, DisabledSheddingIsByteIdenticalAcrossPlanes) {
   JoinSpec spec = MakeEquiJoin(0, 0);
   auto stream = MakeStream(400, 1200, 24, 201);
   auto want = ReferencePairs(stream, spec);
   for (Plane plane : {Plane::kSim, Plane::kBatched, Plane::kBatchedTiny}) {
-    for (bool flat : {true, false}) {
-      std::unique_ptr<Engine> engine = MakeEngine(plane);
-      MetricsRegistry registry;
-      OperatorConfig cfg;
-      cfg.spec = spec;
-      cfg.machines = 4;
-      cfg.adaptive = true;
-      cfg.epsilon = 0.25;
-      cfg.min_total_before_adapt = 16;
-      cfg.collect_pairs = true;
-      cfg.use_flat_index = flat;
-      cfg.registry = &registry;
-      JoinOperator op(*engine, cfg);
-      engine->Start();
-      // Posting the exact rate is a no-op rate-wise: still byte-identical.
-      ASSERT_TRUE(op.SetShedRate(kExact));
-      for (const StreamTuple& t : stream) op.Push(t);
-      op.SendEos();
-      engine->WaitQuiescent();
-      EXPECT_EQ(op.CollectPairs(), want)
-          << PlaneName(plane) << " flat=" << flat;
-      uint64_t skipped = 0;
-      for (const TaskSnapshot& task : registry.Snapshot()) {
-        if (task.kind == TaskKind::kJoiner) {
-          skipped += task.joiner.shed_probes_skipped;
-        }
+    std::unique_ptr<Engine> engine = MakeEngine(plane);
+    MetricsRegistry registry;
+    OperatorConfig cfg;
+    cfg.spec = spec;
+    cfg.machines = 4;
+    cfg.adaptive = true;
+    cfg.epsilon = 0.25;
+    cfg.min_total_before_adapt = 16;
+    cfg.collect_pairs = true;
+    cfg.registry = &registry;
+    JoinOperator op(*engine, cfg);
+    engine->Start();
+    // Posting the exact rate is a no-op rate-wise: still byte-identical.
+    ASSERT_TRUE(op.SetShedRate(kExact));
+    for (const StreamTuple& t : stream) op.Push(t);
+    op.SendEos();
+    engine->WaitQuiescent();
+    EXPECT_EQ(op.CollectPairs(), want) << PlaneName(plane);
+    uint64_t skipped = 0;
+    for (const TaskSnapshot& task : registry.Snapshot()) {
+      if (task.kind == TaskKind::kJoiner) {
+        skipped += task.joiner.shed_probes_skipped;
       }
-      EXPECT_EQ(skipped, 0u) << PlaneName(plane) << " flat=" << flat;
-      engine->Shutdown();
     }
+    EXPECT_EQ(skipped, 0u) << PlaneName(plane);
+    engine->Shutdown();
   }
 }
 

@@ -1,12 +1,8 @@
-// Hash index, row store, and spill store tests.
+// Row store and spill store tests.
 
 #include <gtest/gtest.h>
 
-#include <map>
-#include <set>
-
 #include "src/common/random.h"
-#include "src/index/hash_index.h"
 #include "src/storage/row_store.h"
 #include "src/storage/spill_store.h"
 
@@ -18,43 +14,6 @@ Row MakeRow(int64_t a, const std::string& s) {
   row.Append(Value(a));
   row.Append(Value(s));
   return row;
-}
-
-TEST(HashIndex, InsertAndMatch) {
-  HashIndex index;
-  index.Insert(5, 100);
-  index.Insert(5, 101);
-  index.Insert(7, 200);
-  std::set<uint64_t> got;
-  index.ForEachMatch(5, [&](uint64_t id) { got.insert(id); });
-  EXPECT_EQ(got, (std::set<uint64_t>{100, 101}));
-  EXPECT_EQ(index.CountMatches(7), 1u);
-  EXPECT_EQ(index.CountMatches(9), 0u);
-}
-
-TEST(HashIndex, GrowthKeepsAllEntries) {
-  HashIndex index(16);
-  std::multimap<int64_t, uint64_t> ref;
-  Rng rng(3);
-  for (uint64_t i = 0; i < 50000; ++i) {
-    int64_t key = static_cast<int64_t>(rng.Uniform(500));
-    index.Insert(key, i);
-    ref.emplace(key, i);
-  }
-  EXPECT_EQ(index.size(), 50000u);
-  for (int64_t key = 0; key < 500; ++key) {
-    EXPECT_EQ(index.CountMatches(key), ref.count(key)) << key;
-  }
-}
-
-TEST(HashIndex, NegativeKeysAndClear) {
-  HashIndex index;
-  index.Insert(-42, 1);
-  index.Insert(-42, 2);
-  EXPECT_EQ(index.CountMatches(-42), 2u);
-  index.Clear();
-  EXPECT_EQ(index.size(), 0u);
-  EXPECT_EQ(index.CountMatches(-42), 0u);
 }
 
 TEST(RowStore, AppendGet) {

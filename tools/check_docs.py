@@ -13,6 +13,9 @@
    rejection contract, per-port threading rules), Operator and the two
    facades in src/core/operator.h (egress routing / id-ordering contract),
    Dataflow/ResultSink in src/query/dataflow.h (stage wiring, restamping),
+   AggOperator/ReferenceAggregator in src/core/agg.h, WeightedAccum in
+   src/core/weighted.h and AggTable in src/index/agg_table.h (weight
+   contract, migration-aware cell moves, EOS flush barrier),
    FlatHashIndex in src/index/flat_index.h and JoinIndex in
    src/localjoin/join_index.h (probe-order guarantees, Reserve semantics,
    ProbeRun pipeline contract), MetricsRegistry/TelemetrySampler in
@@ -79,6 +82,9 @@ API_SURFACES = (
     ("src/runtime/task.h", ("IngressPort", "Engine")),
     ("src/core/operator.h", ("Operator", "JoinOperator", "ShjOperator")),
     ("src/query/dataflow.h", ("Dataflow", "ResultSink")),
+    ("src/core/agg.h", ("AggOperator", "ReferenceAggregator")),
+    ("src/core/weighted.h", ("WeightedAccum",)),
+    ("src/index/agg_table.h", ("AggTable",)),
     ("src/index/flat_index.h", ("FlatHashIndex",)),
     ("src/localjoin/join_index.h", ("JoinIndex",)),
     ("src/runtime/metrics_registry.h", ("MetricsRegistry", "TelemetrySampler")),
@@ -144,7 +150,7 @@ def check_api_header(header, classes):
         return [f"{header}: missing (API doc check has no target)"]
     lines = path.read_text(encoding="utf-8").splitlines()
     for cls in classes:
-        class_re = re.compile(rf"^class {cls}\b")
+        class_re = re.compile(rf"^(class|struct) {cls}\b")
         start = next((i for i, ln in enumerate(lines)
                       if class_re.match(ln.strip())), None)
         if start is None:

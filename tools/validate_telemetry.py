@@ -13,7 +13,8 @@ Checks:
     non-negative integers, samples_kept == len(samples) <= samples_taken
   * every sample: t_us, an exchange rollup, a tasks array (joiner entries
     carry the full counter set incl. epoch/migrating, reshuffler entries the
-    routing counters), and an edges array whose entries carry the
+    routing counters, agg entries the group-by counters incl. groups /
+    table_bytes / flushed), and an edges array whose entries carry the
     backpressure fields (credit_waits, credit_wait_ns, ring_occupancy,
     ring_peak, ring_capacity, overflow_depth)
   * per-task cumulative counters are monotone across samples
@@ -27,6 +28,9 @@ Checks:
   * --require-shed-events: the trace must carry at least one shed_enter
     event and some joiner sample must report a shed rate below 1000000 ppm
     (overload-shedding smoke runs)
+  * --require-agg-tasks: some sample must carry at least one agg task, and
+    the final sample's agg tasks must all report flushed == 1 (group-by
+    pipeline smoke runs that end with a drained EOS barrier)
 
 Exit code 0 = valid; 1 = findings (printed one per line).
 """
@@ -46,11 +50,16 @@ JOINER_KEYS = ("in_tuples", "in_bytes", "probe_candidates", "output_tuples",
                "shed_rate_ppm")
 RESHUFFLER_KEYS = ("routed_tuples", "sent_msgs", "sent_bytes",
                    "epoch_changes", "results_restamped")
+AGG_KEYS = ("in_tuples", "in_bytes", "groups", "table_bytes",
+            "mig_out_cells", "mig_in_cells", "migrations_finalized",
+            "emitted_results", "epoch", "migrating", "flushed")
 EDGE_KEYS = ("producer", "consumer", "bounded", "batches", "envelopes",
              "credit_waits", "credit_wait_ns", "overflow_batches",
              "ring_occupancy", "ring_peak", "ring_capacity", "overflow_depth")
 MONOTONE_JOINER_KEYS = ("in_tuples", "output_tuples", "migrations_finalized",
                         "shed_probes_skipped")
+MONOTONE_AGG_KEYS = ("in_tuples", "in_bytes", "migrations_finalized",
+                     "emitted_results")
 TRACE_KINDS = ("epoch_change", "migration_begin", "migration_finalize",
                "credit_stall", "scale_grow", "scale_shrink", "shed_enter",
                "shed_exit", "shed_rate_change")
@@ -86,9 +95,10 @@ def check_sample(errors, sample, i):
         if not isinstance(task, dict):
             errors.append(f"{twhere}: not an object")
             continue
-        require(errors, task.get("kind") in ("joiner", "reshuffler"),
+        require(errors, task.get("kind") in ("joiner", "reshuffler", "agg"),
                 f"{twhere}: bad kind {task.get('kind')!r}")
         keys = (JOINER_KEYS if task.get("kind") == "joiner"
+                else AGG_KEYS if task.get("kind") == "agg"
                 else RESHUFFLER_KEYS)
         for key in keys:
             check_counter(errors, task, key, twhere)
@@ -107,10 +117,16 @@ def check_monotone(errors, samples):
         if not isinstance(sample, dict):
             continue  # already reported by check_sample
         for task in sample.get("tasks", []):
-            if not isinstance(task, dict) or task.get("kind") != "joiner":
+            if not isinstance(task, dict):
+                continue
+            if task.get("kind") == "joiner":
+                monotone_keys = MONOTONE_JOINER_KEYS
+            elif task.get("kind") == "agg":
+                monotone_keys = MONOTONE_AGG_KEYS
+            else:
                 continue
             tid = task.get("task")
-            for key in MONOTONE_JOINER_KEYS:
+            for key in monotone_keys:
                 last = prev.get((tid, key), 0)
                 cur = task.get(key, 0)
                 require(errors, cur >= last,
@@ -131,6 +147,10 @@ def main():
                         help="fail unless the trace has a shed_enter event "
                              "and some joiner sample reports an active shed "
                              "rate")
+    parser.add_argument("--require-agg-tasks", action="store_true",
+                        help="fail unless some sample carries agg tasks and "
+                             "the final sample's agg tasks all report "
+                             "flushed == 1")
     args = parser.parse_args()
 
     errors = []
@@ -205,6 +225,23 @@ def main():
         require(errors, shed_seen,
                 "--require-shed-events: no joiner sample reports an active "
                 "shed rate (shed_rate_ppm < 1000000)")
+
+    if args.require_agg_tasks:
+        agg_seen = any(
+            task.get("kind") == "agg"
+            for sample in samples if isinstance(sample, dict)
+            for task in sample.get("tasks", []) if isinstance(task, dict))
+        require(errors, agg_seen,
+                "--require-agg-tasks: no sample carries an agg task")
+        if samples and isinstance(samples[-1], dict):
+            final_aggs = [task for task in samples[-1].get("tasks", [])
+                          if isinstance(task, dict)
+                          and task.get("kind") == "agg"]
+            require(errors,
+                    final_aggs and all(task.get("flushed") == 1
+                                       for task in final_aggs),
+                    "--require-agg-tasks: final sample's agg tasks are not "
+                    "all flushed (EOS barrier never drained)")
 
     for error in errors:
         print(error)
